@@ -1,0 +1,41 @@
+//! Regenerates every paper table and figure as part of `cargo bench`.
+//!
+//! Runs the same harness as the `all` binary in fast mode (reduced day
+//! counts) so a full `cargo bench --workspace` stays in minutes; run
+//! `cargo run --release -p almanac-bench --bin all` for the full-scale
+//! tables recorded in EXPERIMENTS.md.
+
+use almanac_bench::{fig10, fig11, fig6_7, fig8, fig9, table3};
+use almanac_workloads::{fiu_profiles, msr_profiles};
+
+fn main() {
+    // `cargo bench -- --test` style filtering is not supported here; the
+    // whole suite always runs, in fast mode unless overridden.
+    if std::env::var("ALMANAC_FAST").is_err() {
+        std::env::set_var("ALMANAC_FAST", "1");
+    }
+
+    let days = 2;
+    for usage in [0.5, 0.8] {
+        let rows = fig6_7::run(usage, days, 42);
+        fig6_7::print_fig6(usage, &rows);
+        fig6_7::print_fig7(usage, &rows);
+    }
+    for usage in [0.8, 0.5] {
+        fig8::run_and_print("MSR", &msr_profiles(), usage, &[7, 14], 42);
+        fig8::run_and_print("FIU", &fiu_profiles(), usage, &[5, 10], 42);
+    }
+    let a = fig9::run_fig9a(42);
+    fig9::print_panel("Figure 9a: IOZone (normalized speedup over Ext4)", &a);
+    let b = fig9::run_fig9b(42);
+    fig9::print_panel(
+        "Figure 9b: PostMark and OLTP (normalized speedup over Ext4)",
+        &b,
+    );
+    let rows = fig10::run(42);
+    fig10::print(&rows);
+    let rows = fig11::run(42);
+    fig11::print(&rows);
+    let rows = table3::run(42);
+    table3::print(&rows);
+}

@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks of the hot paths: LZF, XOR-delta, Bloom
+//! filters, the FTL write path, GC cycles, and version-chain queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use almanac_bloom::{BloomChain, BloomFilter, ChainConfig};
+use almanac_compress::{delta, lzf};
+use almanac_core::{RegularSsd, SsdConfig, SsdDevice, TimeSsd};
+use almanac_flash::{Geometry, Lpa, PageData};
+
+fn text_page() -> Vec<u8> {
+    let words = b"the quick brown fox jumps over the lazy dog ";
+    let mut out = Vec::with_capacity(4096);
+    while out.len() < 4096 {
+        out.extend_from_slice(words);
+    }
+    out.truncate(4096);
+    out
+}
+
+fn bench_lzf(c: &mut Criterion) {
+    let page = text_page();
+    let packed = lzf::compress(&page).unwrap();
+    let mut g = c.benchmark_group("lzf");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("compress_4k", |b| {
+        b.iter(|| lzf::compress(black_box(&page)))
+    });
+    g.bench_function("decompress_4k", |b| {
+        b.iter(|| lzf::decompress(black_box(&packed), 4096).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let reference = text_page();
+    let mut old = reference.clone();
+    for i in 0..40 {
+        old[i * 100] ^= 0x55;
+    }
+    let encoded = delta::encode(&reference, &old);
+    let mut g = c.benchmark_group("delta");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("encode_4k", |b| {
+        b.iter(|| delta::encode(black_box(&reference), black_box(&old)))
+    });
+    g.bench_function("decode_4k", |b| {
+        b.iter(|| delta::decode(black_box(&reference), black_box(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut filter = BloomFilter::new(1 << 16, 4);
+    for k in 0..4096u64 {
+        filter.insert(k);
+    }
+    let mut g = c.benchmark_group("bloom");
+    g.bench_function("insert", |b| {
+        let mut f = BloomFilter::new(1 << 16, 4);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            f.insert(black_box(k));
+        })
+    });
+    g.bench_function("contains_hit", |b| {
+        b.iter(|| filter.contains(black_box(1234)))
+    });
+    g.bench_function("contains_miss", |b| {
+        b.iter(|| filter.contains(black_box(9_999_999)))
+    });
+    g.bench_function("chain_lookup_16_filters", |b| {
+        let mut chain = BloomChain::new(ChainConfig {
+            bits_per_filter: 1 << 14,
+            hashes: 4,
+            capacity: 1024,
+        });
+        for k in 0..16 * 1024u64 {
+            chain.insert(k, k);
+        }
+        b.iter(|| chain.contains(black_box(5)))
+    });
+    g.finish();
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftl_write");
+    g.bench_function("regular_ssd_page_write", |b| {
+        let mut ssd = RegularSsd::new(SsdConfig::new(Geometry::bench()));
+        let exported = ssd.exported_pages();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ssd.write(
+                Lpa(i % (exported / 2)),
+                PageData::Synthetic {
+                    seed: i,
+                    version: i,
+                },
+                i * 1000,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("timessd_page_write", |b| {
+        // Zero minimum retention: criterion's iteration counts would
+        // otherwise (correctly) stall the device inside the 3-day guarantee.
+        let mut ssd = TimeSsd::new(almanac_bench::bench_config().with_min_retention(0));
+        let exported = ssd.exported_pages();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ssd.write(
+                Lpa(i % (exported / 2)),
+                PageData::Synthetic {
+                    seed: i,
+                    version: i,
+                },
+                i * 1000,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    // A device with deep version history on one page.
+    let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+    for v in 0..64u64 {
+        ssd.write(
+            Lpa(5),
+            PageData::Synthetic {
+                seed: 5,
+                version: v,
+            },
+            v * 1_000_000,
+        )
+        .unwrap();
+    }
+    let mut g = c.benchmark_group("time_travel");
+    g.bench_function("version_chain_depth_64", |b| {
+        b.iter(|| black_box(ssd.version_chain(Lpa(5))).len())
+    });
+    g.bench_function("version_as_of", |b| {
+        b.iter(|| ssd.version_as_of(Lpa(5), black_box(32_000_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lzf,
+    bench_delta,
+    bench_bloom,
+    bench_write_path,
+    bench_queries
+);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Ablation study of TimeSSD's design choices (beyond the paper's figures).
+//!
+//! Sweeps the knobs DESIGN.md calls out — invalidation group size (§3.5),
+//! Bloom-segment capacity, the Equation-1 threshold `TH` (§3.4), the idle
+//! threshold for background compression (§3.6), and delta compression
+//! effectiveness (synthetic ratio) — and reports their effect on response
+//! time, write amplification, and the achieved retention window.
+//!
+//! Run with: `cargo run --release -p almanac-bench --bin ablate`
+
+use almanac_bench::{bench_config, fmt_days, fmt_ms, print_table, run_profile};
+use almanac_core::{SsdConfig, SsdDevice, TimeSsd};
+use almanac_flash::{Nanos, MS_NS};
+use almanac_workloads::profiles;
+
+struct Outcome {
+    label: String,
+    avg_ms: String,
+    wa: String,
+    retention: String,
+    dropped: u64,
+}
+
+fn measure(label: String, cfg: SsdConfig) -> Outcome {
+    let profile = profiles::profile_by_name("hm").unwrap();
+    let days = if almanac_bench::fast_mode() { 2 } else { 14 };
+    let mut ssd = TimeSsd::new(cfg);
+    let mut window_samples: Vec<Nanos> = Vec::new();
+    let mut n = 0u64;
+    let report = run_profile(&mut ssd, &profile, days, 0.8, 42, |d, now| {
+        n += 1;
+        if n.is_multiple_of(64) {
+            window_samples.push(d.retention_window(now));
+        }
+    });
+    let half = window_samples.len() / 2;
+    let steady = &window_samples[half..];
+    let mean_window = if steady.is_empty() {
+        0.0
+    } else {
+        steady.iter().sum::<Nanos>() as f64 / steady.len() as f64
+    };
+    Outcome {
+        label,
+        avg_ms: fmt_ms(report.avg_response_ns),
+        wa: format!("{:.3}", report.write_amplification),
+        retention: fmt_days(mean_window),
+        dropped: ssd.stats().filters_dropped,
+    }
+}
+
+fn print_outcomes(title: &str, outcomes: &[Outcome]) {
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.label.clone(),
+                o.avg_ms.clone(),
+                o.wa.clone(),
+                o.retention.clone(),
+                o.dropped.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        title,
+        &["config", "avg resp (ms)", "WA", "retention (d)", "drops"],
+        &rows,
+    );
+}
+
+fn main() {
+    // 1. Group size (§3.5): coarser groups = fewer Bloom insertions but more
+    //    false retention.
+    let outcomes: Vec<Outcome> = [1u32, 4, 16, 64]
+        .into_iter()
+        .map(|g| {
+            let mut cfg = bench_config();
+            cfg.group_size = g;
+            measure(format!("group={g}"), cfg)
+        })
+        .collect();
+    print_outcomes("Ablation A: invalidation group size", &outcomes);
+
+    // 2. Equation-1 threshold TH (§3.4): performance vs retention trade-off.
+    let outcomes: Vec<Outcome> = [0.05f64, 0.2, 0.5, 1.0]
+        .into_iter()
+        .map(|th| {
+            let mut cfg = bench_config();
+            cfg.gc_overhead_threshold = th;
+            measure(format!("TH={th}"), cfg)
+        })
+        .collect();
+    print_outcomes("Ablation B: GC-overhead threshold TH", &outcomes);
+
+    // 3. Idle threshold (§3.6): when background compression may run.
+    let outcomes: Vec<Outcome> = [1u64, 10, 100, 10_000]
+        .into_iter()
+        .map(|ms| {
+            let mut cfg = bench_config();
+            cfg.idle_threshold = ms * MS_NS;
+            measure(format!("idle>{ms}ms"), cfg)
+        })
+        .collect();
+    print_outcomes(
+        "Ablation C: background-compression idle threshold",
+        &outcomes,
+    );
+
+    // 4. Delta compressibility: the paper's 0.05–0.25 real-world range plus
+    //    a no-compression worst case.
+    let outcomes: Vec<Outcome> = [0.05f64, 0.2, 0.5, 0.95]
+        .into_iter()
+        .map(|ratio| {
+            let cfg = bench_config().with_synthetic_delta(ratio, 0.02);
+            measure(format!("ratio={ratio}"), cfg)
+        })
+        .collect();
+    print_outcomes("Ablation D: delta compression ratio", &outcomes);
+
+    // 5. Bloom segment capacity: time-resolution of the retention window.
+    let outcomes: Vec<Outcome> = [1024u64, 8192, 65536]
+        .into_iter()
+        .map(|cap| {
+            let mut cfg = bench_config();
+            cfg.bloom.capacity = cap;
+            measure(format!("segment={cap}"), cfg)
+        })
+        .collect();
+    print_outcomes("Ablation E: Bloom segment capacity", &outcomes);
+}

@@ -1,0 +1,40 @@
+//! Regenerates every table and figure in one run (Figures 6-11, Table 3).
+
+use almanac_bench::{fast_mode, fig10, fig11, fig6_7, fig8, fig9, table3};
+use almanac_workloads::{fiu_profiles, msr_profiles};
+
+fn main() {
+    let days = if fast_mode() { 2 } else { 7 };
+    for usage in [0.5, 0.8] {
+        let rows = fig6_7::run(usage, days, 42);
+        fig6_7::print_fig6(usage, &rows);
+        fig6_7::print_fig7(usage, &rows);
+    }
+
+    let (msr_lengths, fiu_lengths): (Vec<u32>, Vec<u32>) = if fast_mode() {
+        (vec![7, 14], vec![5, 10])
+    } else {
+        (vec![28, 42, 56, 63], vec![20, 30, 40])
+    };
+    for usage in [0.8, 0.5] {
+        fig8::run_and_print("MSR", &msr_profiles(), usage, &msr_lengths, 42);
+        fig8::run_and_print("FIU", &fiu_profiles(), usage, &fiu_lengths, 42);
+    }
+
+    let a = fig9::run_fig9a(42);
+    fig9::print_panel("Figure 9a: IOZone (normalized speedup over Ext4)", &a);
+    let b = fig9::run_fig9b(42);
+    fig9::print_panel(
+        "Figure 9b: PostMark and OLTP (normalized speedup over Ext4)",
+        &b,
+    );
+
+    let rows = fig10::run(42);
+    fig10::print(&rows);
+
+    let rows = fig11::run(42);
+    fig11::print(&rows);
+
+    let rows = table3::run(42);
+    table3::print(&rows);
+}

@@ -1,0 +1,38 @@
+//! Retention-dynamics diagnostic: replays one trace while printing the
+//! window, Equation-1 inputs, and GC counters every ~20k requests — the
+//! tool used to calibrate Figure 8 (see DESIGN.md §6b).
+//!
+//! Run with: `cargo run --release -p almanac-bench --bin diag`
+
+use almanac_bench::*;
+use almanac_core::SsdDevice;
+use almanac_flash::DAY_NS;
+use almanac_workloads::profiles;
+
+fn main() {
+    let p = profiles::profile_by_name("hm").unwrap();
+    let mut ssd = make_timessd();
+    let mut n = 0u64;
+    let report = run_profile(&mut ssd, &p, 21, 0.8, 42, |d, now| {
+        n += 1;
+        if n.is_multiple_of(20000) {
+            let s = d.stats();
+            println!(
+                "day {:.1}: window {:.2}d dropped {} gc_runs {} gc_reads {} gc_prog {} gc_comp {} bg_comp {} delta_prog {} erases {} free {}",
+                now as f64 / DAY_NS as f64,
+                d.retention_window(now) as f64 / DAY_NS as f64,
+                s.filters_dropped, s.gc_runs, s.gc_reads, s.gc_programs,
+                s.gc_compressions, s.bg_compressions, s.delta_programs, s.gc_erases,
+                d.free_blocks(),
+            );
+        }
+    });
+    println!(
+        "stalled={} wa={:.3} avg={:.0}us filters={} live={}",
+        report.stalled,
+        report.write_amplification,
+        report.avg_response_ns / 1000.0,
+        ssd.stats().filters_dropped,
+        ssd.live_filters()
+    );
+}

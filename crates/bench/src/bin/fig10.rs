@@ -1,0 +1,8 @@
+//! Regenerates Figure 10: ransomware recovery time, FlashGuard vs TimeSSD.
+
+use almanac_bench::fig10;
+
+fn main() {
+    let rows = fig10::run(42);
+    fig10::print(&rows);
+}

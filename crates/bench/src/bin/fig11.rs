@@ -1,0 +1,8 @@
+//! Regenerates Figure 11: file reversion time vs recovery threads.
+
+use almanac_bench::fig11;
+
+fn main() {
+    let rows = fig11::run(42);
+    fig11::print(&rows);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 6: average I/O response time, TimeSSD vs regular SSD.
+
+use almanac_bench::{fast_mode, fig6_7};
+
+fn main() {
+    let days = if fast_mode() { 2 } else { 7 };
+    for usage in [0.5, 0.8] {
+        let rows = fig6_7::run(usage, days, 42);
+        fig6_7::print_fig6(usage, &rows);
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 8: data retention duration vs trace length.
+
+use almanac_bench::{fast_mode, fig8};
+use almanac_workloads::{fiu_profiles, msr_profiles};
+
+fn main() {
+    let (msr_lengths, fiu_lengths): (Vec<u32>, Vec<u32>) = if fast_mode() {
+        (vec![7, 14], vec![5, 10])
+    } else {
+        (vec![28, 42, 56, 63], vec![20, 30, 40])
+    };
+    for usage in [0.8, 0.5] {
+        fig8::run_and_print("MSR", &msr_profiles(), usage, &msr_lengths, 42);
+    }
+    for usage in [0.8, 0.5] {
+        fig8::run_and_print("FIU", &fiu_profiles(), usage, &fiu_lengths, 42);
+    }
+}

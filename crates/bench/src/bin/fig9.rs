@@ -1,0 +1,13 @@
+//! Regenerates Figure 9: IOZone / PostMark / OLTP speedups over Ext4.
+
+use almanac_bench::fig9;
+
+fn main() {
+    let a = fig9::run_fig9a(42);
+    fig9::print_panel("Figure 9a: IOZone (normalized speedup over Ext4)", &a);
+    let b = fig9::run_fig9b(42);
+    fig9::print_panel(
+        "Figure 9b: PostMark and OLTP (normalized speedup over Ext4)",
+        &b,
+    );
+}

@@ -1,0 +1,70 @@
+//! Device-lifetime experiment (the §5.2.2 endurance angle, beyond WA).
+//!
+//! Endurance budget is erases: a device that erases more blocks per host
+//! write dies proportionally sooner. Both devices absorb the same overwrite
+//! workload; the ratio of consumed erases (and of flash programs) is the
+//! lifetime cost of retention — the claim behind Figure 7.
+//!
+//! Run with: `cargo run --release -p almanac-bench --bin lifetime`
+
+use almanac_bench::{fast_mode, print_table};
+use almanac_core::{RegularSsd, SsdConfig, SsdDevice, TimeSsd};
+use almanac_flash::{FlashStats, Geometry, Lpa, PageData};
+
+fn run_workload<D: SsdDevice>(ssd: &mut D, writes: u64) -> f64 {
+    let set = ssd.exported_pages() / 4;
+    let mut now = 0u64;
+    for i in 0..writes {
+        let lpa = Lpa(i % set);
+        let c = ssd
+            .write(
+                lpa,
+                PageData::Synthetic {
+                    seed: lpa.0,
+                    version: i,
+                },
+                now,
+            )
+            .expect("workload fits");
+        now = c.finish + 1000;
+    }
+    ssd.stats().write_amplification()
+}
+
+fn main() {
+    let writes = if fast_mode() { 30_000 } else { 120_000 };
+    let cfg = SsdConfig::new(Geometry::medium_test()).with_min_retention(0);
+
+    let mut regular = RegularSsd::new(cfg.clone());
+    let reg_wa = run_workload(&mut regular, writes);
+    let reg: FlashStats = *regular.flash().stats();
+
+    let mut cfg_t = cfg.clone();
+    cfg_t.n_fixed = 256;
+    let mut timessd = TimeSsd::new(cfg_t);
+    let time_wa = run_workload(&mut timessd, writes);
+    let time: FlashStats = *timessd.flash().stats();
+
+    let row = |name: &str, s: &FlashStats, wa: f64, base: &FlashStats| {
+        vec![
+            name.to_string(),
+            s.erases.to_string(),
+            s.programs.to_string(),
+            format!("{wa:.3}"),
+            format!("{:.2}x", base.erases as f64 / s.erases.max(1) as f64),
+        ]
+    };
+    print_table(
+        &format!("Endurance consumed by {writes} host page writes"),
+        &["device", "erases", "programs", "WA", "relative lifetime"],
+        &[
+            row("Regular SSD", &reg, reg_wa, &reg),
+            row("TimeSSD", &time, time_wa, &reg),
+        ],
+    );
+    println!(
+        "retention costs ≈{:.0}% lifetime at this workload (paper frames the same \
+         trade-off through Figure 7's write amplification)",
+        (1.0 - reg.erases as f64 / time.erases.max(1) as f64) * 100.0
+    );
+}

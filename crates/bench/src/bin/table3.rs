@@ -1,0 +1,8 @@
+//! Regenerates Table 3: storage-state query execution times.
+
+use almanac_bench::table3;
+
+fn main() {
+    let rows = table3::run(42);
+    table3::print(&rows);
+}

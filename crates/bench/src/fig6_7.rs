@@ -1,0 +1,115 @@
+//! Figures 6 and 7: average I/O response time and write amplification of
+//! TimeSSD vs. a regular SSD across the 12 MSR/FIU traces, at 50% and 80%
+//! capacity usage. Both figures come from the same runs.
+
+use almanac_workloads::{fiu_profiles, msr_profiles};
+
+use crate::{fmt_ms, make_regular, make_timessd, print_table, run_profile};
+
+/// One trace's measurements on both devices.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Trace name.
+    pub trace: String,
+    /// Regular SSD average response time, ns.
+    pub regular_avg_ns: f64,
+    /// TimeSSD average response time, ns.
+    pub timessd_avg_ns: f64,
+    /// Regular SSD write amplification.
+    pub regular_wa: f64,
+    /// TimeSSD write amplification.
+    pub timessd_wa: f64,
+    /// TimeSSD response-time overhead vs. regular, percent.
+    pub overhead_pct: f64,
+    /// Regular SSD p99 write latency, ns.
+    pub regular_p99_ns: u64,
+    /// TimeSSD p99 write latency, ns.
+    pub timessd_p99_ns: u64,
+    /// TimeSSD write-amplification increase vs. regular, percent.
+    pub wa_increase_pct: f64,
+}
+
+/// Runs all 12 traces at the given usage for `days` simulated days.
+pub fn run(usage: f64, days: u32, seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for profile in msr_profiles().into_iter().chain(fiu_profiles()) {
+        let mut regular = make_regular();
+        let r = run_profile(&mut regular, &profile, days, usage, seed, |_, _| {});
+        let mut timessd = make_timessd();
+        let t = run_profile(&mut timessd, &profile, days, usage, seed, |_, _| {});
+        let overhead = if r.avg_response_ns > 0.0 {
+            (t.avg_response_ns / r.avg_response_ns - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        let wa_inc = if r.write_amplification > 0.0 {
+            (t.write_amplification / r.write_amplification - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        rows.push(Row {
+            trace: profile.name.to_string(),
+            regular_avg_ns: r.avg_response_ns,
+            timessd_avg_ns: t.avg_response_ns,
+            regular_wa: r.write_amplification,
+            timessd_wa: t.write_amplification,
+            overhead_pct: overhead,
+            wa_increase_pct: wa_inc,
+            regular_p99_ns: r.p99_write_ns,
+            timessd_p99_ns: t.p99_write_ns,
+        });
+    }
+    rows
+}
+
+/// Prints the Figure 6 table (response times).
+pub fn print_fig6(usage: f64, rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.trace.clone(),
+                fmt_ms(r.regular_avg_ns),
+                fmt_ms(r.timessd_avg_ns),
+                format!("{:+.1}%", r.overhead_pct),
+                fmt_ms(r.regular_p99_ns as f64),
+                fmt_ms(r.timessd_p99_ns as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Figure 6: avg I/O response time (ms), {:.0}% capacity usage              (p99 columns are an extension)",
+            usage * 100.0
+        ),
+        &["trace", "Regular SSD", "TimeSSD", "overhead", "reg p99", "time p99"],
+        &table,
+    );
+    let mean: f64 = rows.iter().map(|r| r.overhead_pct).sum::<f64>() / rows.len() as f64;
+    println!("mean TimeSSD response-time overhead: {mean:+.1}%");
+}
+
+/// Prints the Figure 7 table (write amplification).
+pub fn print_fig7(usage: f64, rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.trace.clone(),
+                format!("{:.3}", r.regular_wa),
+                format!("{:.3}", r.timessd_wa),
+                format!("{:+.1}%", r.wa_increase_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Figure 7: write amplification, {:.0}% capacity usage",
+            usage * 100.0
+        ),
+        &["trace", "Regular SSD", "TimeSSD", "increase"],
+        &table,
+    );
+    let mean: f64 = rows.iter().map(|r| r.wa_increase_pct).sum::<f64>() / rows.len() as f64;
+    println!("mean TimeSSD write-amplification increase: {mean:+.1}%");
+}

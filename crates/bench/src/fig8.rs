@@ -1,0 +1,99 @@
+//! Figure 8: data retention duration of TimeSSD under different workloads,
+//! trace lengths, and capacity usages.
+
+use almanac_flash::{Nanos, DAY_NS};
+use almanac_workloads::TraceProfile;
+
+use crate::{make_timessd, print_table, run_profile};
+
+/// Retention achieved by one trace at one length.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Trace length in days.
+    pub days: u32,
+    /// Achieved retention duration in days (steady-state mean of the
+    /// retention window over the second half of the run).
+    pub retention_days: f64,
+    /// Whether the device stalled during the run.
+    pub stalled: bool,
+}
+
+/// Measures the retention duration for one profile across trace lengths.
+pub fn run_profile_lengths(
+    profile: &TraceProfile,
+    usage: f64,
+    lengths: &[u32],
+    seed: u64,
+) -> Vec<Point> {
+    lengths
+        .iter()
+        .map(|&days| {
+            let mut ssd = make_timessd();
+            let mut samples: Vec<Nanos> = Vec::new();
+            let mut counter = 0u64;
+            let report = run_profile(&mut ssd, profile, days, usage, seed, |d, now| {
+                counter += 1;
+                if counter.is_multiple_of(64) {
+                    samples.push(d.retention_window(now));
+                }
+            });
+            let half = samples.len() / 2;
+            let steady = &samples[half.min(samples.len().saturating_sub(1))..];
+            let mean = if steady.is_empty() {
+                0.0
+            } else {
+                steady.iter().sum::<Nanos>() as f64 / steady.len() as f64
+            };
+            Point {
+                days,
+                retention_days: mean / DAY_NS as f64,
+                stalled: report.stalled,
+            }
+        })
+        .collect()
+}
+
+/// Runs a whole suite (`profiles`) and prints the Figure 8 panel.
+pub fn run_and_print(
+    title: &str,
+    profiles: &[TraceProfile],
+    usage: f64,
+    lengths: &[u32],
+    seed: u64,
+) -> Vec<(String, Vec<Point>)> {
+    let results: Vec<(String, Vec<Point>)> = profiles
+        .iter()
+        .map(|p| {
+            (
+                p.name.to_string(),
+                run_profile_lengths(p, usage, lengths, seed),
+            )
+        })
+        .collect();
+    let mut header: Vec<String> = vec!["trace".to_string()];
+    header.extend(lengths.iter().map(|d| format!("{d}d")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, points)| {
+            let mut row = vec![name.clone()];
+            row.extend(points.iter().map(|pt| {
+                if pt.stalled {
+                    format!("{:.1}*", pt.retention_days)
+                } else {
+                    format!("{:.1}", pt.retention_days)
+                }
+            }));
+            row
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Figure 8 ({title}): data retaining time (days) vs trace length, {:.0}% usage",
+            usage * 100.0
+        ),
+        &header_refs,
+        &rows,
+    );
+    results
+}

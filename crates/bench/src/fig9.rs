@@ -1,0 +1,183 @@
+//! Figure 9: file-system benchmarks and OLTP workloads — Ext4 and F2FS on a
+//! regular SSD vs. journaling-free Ext4 on TimeSSD.
+
+use almanac_core::SsdDevice;
+use almanac_flash::Nanos;
+use almanac_fs::{AlmanacFs, FsMode};
+use almanac_workloads::iozone;
+use almanac_workloads::oltp::{OltpEngine, OltpMix};
+use almanac_workloads::postmark::{self, PostmarkConfig};
+
+use crate::{fast_mode, make_regular, make_timessd, print_table};
+
+/// The three software stacks Figure 9 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stack {
+    /// Ext4 with data journaling on a regular SSD.
+    Ext4,
+    /// F2FS-style log-structured FS on a regular SSD.
+    F2fs,
+    /// Journaling-free Ext4 on TimeSSD.
+    TimeSsdStack,
+}
+
+impl Stack {
+    /// Label as the paper prints it.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stack::Ext4 => "Ext4",
+            Stack::F2fs => "F2FS",
+            Stack::TimeSsdStack => "TimeSSD",
+        }
+    }
+}
+
+const STACKS: [Stack; 3] = [Stack::Ext4, Stack::F2fs, Stack::TimeSsdStack];
+
+/// Per-workload virtual elapsed time on each stack (lower is better).
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload name (e.g. `SeqWrite`, `PostMark`, `TPCC`).
+    pub name: String,
+    /// `(stack, elapsed virtual ns)` triples.
+    pub elapsed: Vec<(Stack, Nanos)>,
+}
+
+impl WorkloadResult {
+    /// Speedup of each stack relative to Ext4 (the paper's normalisation).
+    pub fn speedups(&self) -> Vec<(Stack, f64)> {
+        let ext4 = self
+            .elapsed
+            .iter()
+            .find(|(s, _)| *s == Stack::Ext4)
+            .map(|(_, e)| *e)
+            .unwrap_or(1) as f64;
+        self.elapsed
+            .iter()
+            .map(|(s, e)| (*s, ext4 / (*e).max(1) as f64))
+            .collect()
+    }
+}
+
+fn with_stack<R>(stack: Stack, f: impl FnOnce(&mut dyn FsRunner) -> R) -> R {
+    match stack {
+        Stack::Ext4 => {
+            let mut fs = AlmanacFs::new(make_regular(), FsMode::Ext4DataJournal).unwrap();
+            f(&mut fs)
+        }
+        Stack::F2fs => {
+            let mut fs = AlmanacFs::new(make_regular(), FsMode::F2fsLog).unwrap();
+            f(&mut fs)
+        }
+        Stack::TimeSsdStack => {
+            let mut fs = AlmanacFs::new(make_timessd(), FsMode::Ext4NoJournal).unwrap();
+            f(&mut fs)
+        }
+    }
+}
+
+/// Object-safe adapter so the three concrete `AlmanacFs<D>` types can share
+/// one workload driver.
+pub trait FsRunner {
+    /// Runs the four IOZone phases, returning per-phase elapsed ns.
+    fn iozone(&mut self, file_kb: u64, ops: u64, seed: u64) -> Vec<(String, Nanos)>;
+    /// Runs PostMark, returning elapsed ns of the transaction phase.
+    fn postmark(&mut self, cfg: PostmarkConfig, seed: u64) -> Nanos;
+    /// Runs one OLTP mix, returning elapsed ns.
+    fn oltp(&mut self, mix: OltpMix, transactions: u64, seed: u64) -> Nanos;
+}
+
+impl<D: SsdDevice> FsRunner for AlmanacFs<D> {
+    fn iozone(&mut self, file_kb: u64, ops: u64, seed: u64) -> Vec<(String, Nanos)> {
+        iozone::run(self, file_kb, ops, seed, 0)
+            .unwrap()
+            .into_iter()
+            .map(|p| (p.phase.to_string(), p.elapsed))
+            .collect()
+    }
+
+    fn postmark(&mut self, cfg: PostmarkConfig, seed: u64) -> Nanos {
+        postmark::run(self, cfg, seed, 0).unwrap().elapsed
+    }
+
+    fn oltp(&mut self, mix: OltpMix, transactions: u64, seed: u64) -> Nanos {
+        let (mut engine, t) = OltpEngine::setup(self, 2, 64, seed, 0).unwrap();
+        engine.run(mix, transactions, t).unwrap().elapsed
+    }
+}
+
+/// Runs Figure 9a (IOZone phases) across the three stacks.
+pub fn run_fig9a(seed: u64) -> Vec<WorkloadResult> {
+    let (file_kb, ops) = if fast_mode() {
+        (1024, 256)
+    } else {
+        (8192, 2048)
+    };
+    let mut by_phase: Vec<WorkloadResult> = Vec::new();
+    for stack in STACKS {
+        let phases = with_stack(stack, |fs| fs.iozone(file_kb, ops, seed));
+        for (name, elapsed) in phases {
+            match by_phase.iter_mut().find(|w| w.name == name) {
+                Some(w) => w.elapsed.push((stack, elapsed)),
+                None => by_phase.push(WorkloadResult {
+                    name,
+                    elapsed: vec![(stack, elapsed)],
+                }),
+            }
+        }
+    }
+    by_phase
+}
+
+/// Runs Figure 9b (PostMark + OLTP) across the three stacks.
+pub fn run_fig9b(seed: u64) -> Vec<WorkloadResult> {
+    let (files, txs, oltp_txs) = if fast_mode() {
+        (50, 300, 100)
+    } else {
+        (200, 1500, 400)
+    };
+    let mut results = Vec::new();
+
+    let mut postmark = WorkloadResult {
+        name: "PostMark".into(),
+        elapsed: Vec::new(),
+    };
+    for stack in STACKS {
+        let cfg = PostmarkConfig {
+            initial_files: files,
+            transactions: txs,
+            ..Default::default()
+        };
+        let elapsed = with_stack(stack, |fs| fs.postmark(cfg, seed));
+        postmark.elapsed.push((stack, elapsed));
+    }
+    results.push(postmark);
+
+    for mix in [OltpMix::Tpcc, OltpMix::Tpcb, OltpMix::Tatp] {
+        let mut w = WorkloadResult {
+            name: mix.label().into(),
+            elapsed: Vec::new(),
+        };
+        for stack in STACKS {
+            let elapsed = with_stack(stack, |fs| fs.oltp(mix, oltp_txs, seed));
+            w.elapsed.push((stack, elapsed));
+        }
+        results.push(w);
+    }
+    results
+}
+
+/// Prints one Figure 9 panel as normalized speedups over Ext4.
+pub fn print_panel(title: &str, results: &[WorkloadResult]) {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|w| {
+            let mut row = vec![w.name.clone()];
+            for (_, s) in w.speedups() {
+                row.push(format!("{s:.2}x"));
+            }
+            row
+        })
+        .collect();
+    print_table(title, &["workload", "Ext4", "F2FS", "TimeSSD"], &rows);
+}

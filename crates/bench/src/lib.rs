@@ -1,0 +1,183 @@
+//! Shared harness for regenerating every table and figure of the paper's
+//! evaluation (§5).
+//!
+//! Each figure has a binary (`fig6` … `fig11`, `table3`) that prints the
+//! same rows/series the paper reports; `all` runs the full suite. The
+//! simulated device is a 512 MiB, 8-channel scale-down of the paper's 1 TB
+//! Cosmos+ board, and workload volumes are expressed as device fractions so
+//! the shapes (who wins, by how much, where crossovers fall) carry over.
+//!
+//! Environment knobs:
+//!
+//! - `ALMANAC_FAST=1` — shrink day counts / op counts for smoke runs.
+
+#![warn(missing_docs)]
+
+use almanac_bloom::ChainConfig;
+use almanac_core::{RegularSsd, SsdConfig, SsdDevice, TimeSsd};
+use almanac_flash::{Geometry, Lpa, Nanos, PageData, DAY_NS, MS_NS, SEC_NS};
+use almanac_trace::{replay_with_sampler, ReplayReport, Trace};
+use almanac_workloads::TraceProfile;
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig6_7;
+pub mod fig8;
+pub mod fig9;
+pub mod table3;
+
+/// True when the fast (smoke-test) mode is requested.
+pub fn fast_mode() -> bool {
+    std::env::var("ALMANAC_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// The benchmark SSD configuration: bench geometry with Bloom segments
+/// sized so a segment covers a few hours of heavy traffic.
+pub fn bench_config() -> SsdConfig {
+    SsdConfig::new(Geometry::bench()).with_bloom(ChainConfig {
+        bits_per_filter: 1 << 17,
+        hashes: 4,
+        capacity: 8192,
+    })
+}
+
+/// A fresh TimeSSD with the benchmark configuration.
+pub fn make_timessd() -> TimeSsd {
+    TimeSsd::new(bench_config())
+}
+
+/// A fresh regular SSD with the benchmark configuration.
+pub fn make_regular() -> RegularSsd {
+    RegularSsd::new(bench_config())
+}
+
+/// Pre-fills `usage` of the exported space with valid data, spaced so the
+/// device keeps up; returns the virtual end time of the warm-up.
+pub fn warm_fill<D: SsdDevice>(dev: &mut D, usage: f64) -> Nanos {
+    let pages = (dev.exported_pages() as f64 * usage) as u64;
+    let gap = 700_000; // ≈ device write service time, keeps the queue short
+    let mut end = 0;
+    for i in 0..pages {
+        let c = dev
+            .write(
+                Lpa(i),
+                PageData::Synthetic {
+                    seed: i,
+                    version: 0,
+                },
+                i * gap,
+            )
+            .expect("warm fill must fit");
+        end = end.max(c.finish);
+    }
+    end
+}
+
+/// Generates a profile's trace clamped to the usage level and shifted past
+/// the warm-up.
+pub fn profile_trace(
+    profile: &TraceProfile,
+    days: u32,
+    usage: f64,
+    exported: u64,
+    offset: Nanos,
+    seed: u64,
+) -> Trace {
+    let mut p = *profile;
+    p.working_set = p.working_set.min(usage);
+    p.generate(days, exported, seed).shifted(offset)
+}
+
+/// Replays a profile on one device after warming it to `usage`, sampling
+/// the retention window; returns the report and the samples
+/// `(virtual time, window)`.
+pub fn run_profile<D: SsdDevice>(
+    dev: &mut D,
+    profile: &TraceProfile,
+    days: u32,
+    usage: f64,
+    seed: u64,
+    mut sample: impl FnMut(&D, Nanos),
+) -> ReplayReport {
+    let warm_end = warm_fill(dev, usage);
+    let trace = profile_trace(
+        profile,
+        days,
+        usage,
+        dev.exported_pages(),
+        warm_end + SEC_NS,
+        seed,
+    );
+    replay_with_sampler(&trace, dev, |d, now| sample(d, now)).expect("replay failed")
+}
+
+/// Formats nanoseconds as milliseconds with two decimals.
+pub fn fmt_ms(ns: f64) -> String {
+    format!("{:.2}", ns / MS_NS as f64)
+}
+
+/// Formats nanoseconds as days with one decimal.
+pub fn fmt_days(ns: f64) -> String {
+    format!("{:.1}", ns / DAY_NS as f64)
+}
+
+/// Prints a fixed-width table: a header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", line.trim_end());
+    };
+    fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    fmt_row(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        fmt_row(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use almanac_workloads::profiles;
+
+    #[test]
+    fn warm_fill_reaches_usage() {
+        let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+        warm_fill(&mut ssd, 0.5);
+        let expect = (ssd.exported_pages() as f64 * 0.5) as u64;
+        assert_eq!(ssd.stats().user_writes, expect);
+    }
+
+    #[test]
+    fn run_profile_produces_report() {
+        let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+        let p = profiles::profile_by_name("webusers").unwrap();
+        let report = run_profile(&mut ssd, &p, 1, 0.5, 42, |_, _| {});
+        assert!(report.user_writes > 0);
+        assert!(!report.stalled);
+    }
+
+    #[test]
+    fn tables_format_without_panicking() {
+        print_table(
+            "test",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert_eq!(fmt_ms(1_500_000.0), "1.50");
+        assert_eq!(fmt_days(DAY_NS as f64 * 2.5), "2.5");
+    }
+}

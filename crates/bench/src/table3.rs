@@ -1,0 +1,105 @@
+//! Table 3: execution time of the TimeKits storage-state queries across the
+//! 12 trace workloads.
+//!
+//! As in §5.4: warm the device with the workload, then run `TimeQuery`
+//! (state one day ago), `AddrQueryAll` (all retained versions of a random
+//! LPA), and `RollBack` (revert that LPA), reporting each operation's
+//! virtual execution time.
+
+use almanac_core::SsdDevice;
+use almanac_flash::{Lpa, Nanos, DAY_NS};
+use almanac_workloads::{fiu_profiles, msr_profiles};
+
+use crate::{fast_mode, make_timessd, print_table, run_profile};
+
+/// Query timings for one workload.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Trace name.
+    pub trace: String,
+    /// `TimeQuery` latency, ns.
+    pub time_query_ns: Nanos,
+    /// `AddrQueryAll` latency, ns.
+    pub addr_query_all_ns: Nanos,
+    /// `RollBack` latency, ns.
+    pub rollback_ns: Nanos,
+}
+
+/// Device channels available for query parallelism.
+const QUERY_THREADS: u32 = 8;
+
+/// Runs all 12 workloads and measures the three queries on each.
+pub fn run(seed: u64) -> Vec<Row> {
+    let days = if fast_mode() { 1 } else { 3 };
+    let usage = 0.5;
+    let mut rows = Vec::new();
+    for profile in msr_profiles().into_iter().chain(fiu_profiles()) {
+        let mut ssd = make_timessd();
+        let mut last_at = 0;
+        let report = run_profile(&mut ssd, &profile, days, usage, seed, |_, now| {
+            last_at = now;
+        });
+        assert!(!report.stalled, "{} stalled during warm-up", profile.name);
+        let one_day_ago = last_at.saturating_sub(DAY_NS);
+
+        let kits = almanac_kits::TimeKits::new(&mut ssd).with_threads(QUERY_THREADS);
+        let (_, tq_cost) = kits.time_query(one_day_ago);
+        let time_query_ns = tq_cost.makespan(QUERY_THREADS);
+
+        // A random-but-deterministic LPA with history.
+        let lpa = pick_lpa_with_history(kits.ssd(), seed);
+        let (_, aq_cost) = kits.addr_query_all(lpa, 1).unwrap();
+        let addr_query_all_ns = aq_cost.makespan(1);
+
+        let mut kits = almanac_kits::TimeKits::new(&mut ssd);
+        let before = kits.ssd().config().latency;
+        let out = kits.roll_back(lpa, 1, one_day_ago, last_at).unwrap();
+        // Rollback latency: retrieval makespan plus the write-back.
+        let rollback_ns = out.cost.makespan(1) + before.program_total();
+
+        rows.push(Row {
+            trace: profile.name.to_string(),
+            time_query_ns,
+            addr_query_all_ns,
+            rollback_ns,
+        });
+    }
+    rows
+}
+
+fn pick_lpa_with_history(ssd: &almanac_core::TimeSsd, seed: u64) -> Lpa {
+    let exported = ssd.exported_pages();
+    let mut candidate = seed % exported;
+    for _ in 0..exported {
+        if ssd.version_chain(Lpa(candidate)).len() > 1 {
+            return Lpa(candidate);
+        }
+        candidate = (candidate + 1) % exported;
+    }
+    Lpa(0)
+}
+
+/// Prints the Table 3 rows.
+pub fn print(rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.trace.clone(),
+                format!("{:.2}", r.time_query_ns as f64 / 1e9),
+                format!("{:.1}", r.addr_query_all_ns as f64 / 1e6),
+                format!("{:.1}", r.rollback_ns as f64 / 1e6),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3: storage-state query execution time",
+        &[
+            "trace",
+            "TimeQuery (s)",
+            "AddrQueryAll (ms)",
+            "RollBack (ms)",
+        ],
+        &table,
+    );
+}

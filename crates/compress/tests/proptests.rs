@@ -1,0 +1,68 @@
+//! Property tests: codec roundtrips must hold for arbitrary inputs.
+
+use almanac_compress::{delta, lzf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lzf_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        if let Some(packed) = lzf::compress(&data) {
+            prop_assert!(packed.len() < data.len());
+            prop_assert_eq!(lzf::decompress(&packed, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn lzf_roundtrip_repetitive(byte in any::<u8>(), len in 4usize..16384) {
+        let data = vec![byte; len];
+        let packed = lzf::compress(&data).expect("repetitive data must compress");
+        prop_assert_eq!(lzf::decompress(&packed, len).unwrap(), data);
+    }
+
+    #[test]
+    fn lzf_roundtrip_structured(
+        pattern in proptest::collection::vec(any::<u8>(), 1..64),
+        reps in 2usize..64,
+    ) {
+        let mut data = Vec::new();
+        for _ in 0..reps {
+            data.extend_from_slice(&pattern);
+        }
+        if let Some(packed) = lzf::compress(&data) {
+            prop_assert_eq!(lzf::decompress(&packed, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn delta_roundtrip_arbitrary(
+        reference in proptest::collection::vec(any::<u8>(), 1..4096),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 0..32),
+    ) {
+        let mut old = reference.clone();
+        for (idx, v) in &flips {
+            let i = idx.index(old.len());
+            old[i] ^= v;
+        }
+        let d = delta::encode(&reference, &old);
+        prop_assert_eq!(delta::decode(&reference, &d).unwrap(), old);
+    }
+
+    #[test]
+    fn delta_of_identical_is_small(data in proptest::collection::vec(any::<u8>(), 64..4096)) {
+        let d = delta::encode(&data, &data);
+        // The XOR of identical pages is all zeros — always tiny.
+        prop_assert!(d.len() < data.len() / 8 + 64, "identity delta {} for {}", d.len(), data.len());
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(
+        reference in proptest::collection::vec(any::<u8>(), 0..512),
+        garbage in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Corrupt inputs must fail cleanly, never panic.
+        let _ = delta::decode(&reference, &garbage);
+        let _ = lzf::decompress(&garbage, reference.len());
+    }
+}

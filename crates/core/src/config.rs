@@ -1,0 +1,161 @@
+//! FTL configuration.
+
+use almanac_bloom::ChainConfig;
+use almanac_flash::{Geometry, LatencyConfig, Nanos, DAY_NS, MS_NS};
+
+/// Configuration shared by every FTL in this crate.
+///
+/// Defaults follow the paper: 15% over-provisioning, invalidation tracked at
+/// a group granularity of 16 pages, a 3-day retention lower bound, a GC
+/// overhead threshold of 20% of a page-write cost evaluated every 4096 user
+/// page writes, exponential idle-time smoothing with α = 0.5 and a 10 ms
+/// idle threshold, and a mean synthetic delta-compression ratio of 0.2.
+///
+/// # Examples
+///
+/// ```
+/// use almanac_core::SsdConfig;
+/// use almanac_flash::Geometry;
+/// let cfg = SsdConfig::new(Geometry::small_test());
+/// assert!(cfg.exported_pages() < cfg.geometry.total_pages());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SsdConfig {
+    /// Flash array shape.
+    pub geometry: Geometry,
+    /// Flash latency model.
+    pub latency: LatencyConfig,
+    /// Over-provisioned fraction of raw capacity (not exported to the host).
+    pub op_ratio: f64,
+    /// GC triggers when the free-block count drops below this.
+    pub gc_low_watermark: u32,
+    /// Invalidations are recorded in the Bloom filters at this group
+    /// granularity (N consecutive pages of a block, §3.5).
+    pub group_size: u32,
+    /// Bloom filter chain parameters.
+    pub bloom: ChainConfig,
+    /// Guaranteed lower bound on the retention window (§3.4).
+    pub min_retention: Nanos,
+    /// `TH` of Equation 1: shorten the window when estimated GC overhead per
+    /// user write exceeds `TH × C_write`.
+    pub gc_overhead_threshold: f64,
+    /// `N_fixed` of Equation 1: user page writes per estimation period.
+    pub n_fixed: u64,
+    /// Exponential smoothing factor for idle-time prediction (§3.6).
+    pub idle_alpha: f64,
+    /// Predicted idle time must exceed this for background compression.
+    pub idle_threshold: Nanos,
+    /// Mean of the Gaussian compression-ratio model for synthetic content
+    /// (pages without real bytes), as in §5.2.
+    pub synthetic_delta_mean: f64,
+    /// Standard deviation of the synthetic compression-ratio model.
+    pub synthetic_delta_std: f64,
+    /// Enable wear leveling.
+    pub wear_leveling: bool,
+    /// Erase-count spread (max − min) that triggers a wear-leveling swap.
+    pub wl_spread_threshold: u32,
+    /// Optional per-block erase endurance.
+    pub endurance: Option<u32>,
+    /// Optional user-supplied key encrypting retained (compressed) versions,
+    /// the §3.10 defense against secure-deletion leaks: history stays
+    /// recoverable for the key holder but unreadable to anyone else.
+    pub retention_key: Option<u64>,
+    /// Translation pages the controller can cache (DFTL-style demand
+    /// caching of the AMT); `None` keeps the whole table RAM-resident.
+    pub amt_cache_pages: Option<usize>,
+}
+
+impl SsdConfig {
+    /// Paper-default configuration for the given geometry.
+    pub fn new(geometry: Geometry) -> Self {
+        SsdConfig {
+            geometry,
+            latency: LatencyConfig::default(),
+            op_ratio: 0.15,
+            gc_low_watermark: (geometry.channels.max(2) + 2).max(4),
+            group_size: 16,
+            bloom: ChainConfig::default(),
+            min_retention: 3 * DAY_NS,
+            gc_overhead_threshold: 0.2,
+            n_fixed: 4096,
+            idle_alpha: 0.5,
+            idle_threshold: 10 * MS_NS,
+            synthetic_delta_mean: 0.2,
+            synthetic_delta_std: 0.05,
+            wear_leveling: true,
+            wl_spread_threshold: 32,
+            endurance: None,
+            retention_key: None,
+            amt_cache_pages: None,
+        }
+    }
+
+    /// Number of pages exported to the host (raw capacity minus
+    /// over-provisioning).
+    pub fn exported_pages(&self) -> u64 {
+        (self.geometry.total_pages() as f64 * (1.0 - self.op_ratio)) as u64
+    }
+
+    /// Exported capacity in bytes.
+    pub fn exported_bytes(&self) -> u64 {
+        self.exported_pages() * self.geometry.page_size as u64
+    }
+
+    /// Sets the minimum retention window.
+    pub fn with_min_retention(mut self, window: Nanos) -> Self {
+        self.min_retention = window;
+        self
+    }
+
+    /// Sets the Bloom chain parameters.
+    pub fn with_bloom(mut self, bloom: ChainConfig) -> Self {
+        self.bloom = bloom;
+        self
+    }
+
+    /// Sets the synthetic compression-ratio model.
+    pub fn with_synthetic_delta(mut self, mean: f64, std: f64) -> Self {
+        self.synthetic_delta_mean = mean;
+        self.synthetic_delta_std = std;
+        self
+    }
+
+    /// Enables retained-data encryption under a user key (§3.10).
+    pub fn with_retention_key(mut self, key: u64) -> Self {
+        self.retention_key = Some(key);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exported_capacity_applies_op_ratio() {
+        let cfg = SsdConfig::new(Geometry::small_test());
+        let raw = cfg.geometry.total_pages();
+        assert_eq!(cfg.exported_pages(), (raw as f64 * 0.85) as u64);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = SsdConfig::new(Geometry::small_test());
+        assert_eq!(cfg.group_size, 16);
+        assert_eq!(cfg.min_retention, 3 * DAY_NS);
+        assert!((cfg.gc_overhead_threshold - 0.2).abs() < f64::EPSILON);
+        assert_eq!(cfg.n_fixed, 4096);
+        assert!((cfg.idle_alpha - 0.5).abs() < f64::EPSILON);
+        assert_eq!(cfg.idle_threshold, 10 * MS_NS);
+        assert!((cfg.synthetic_delta_mean - 0.2).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = SsdConfig::new(Geometry::small_test())
+            .with_min_retention(5)
+            .with_synthetic_delta(0.1, 0.01);
+        assert_eq!(cfg.min_retention, 5);
+        assert!((cfg.synthetic_delta_mean - 0.1).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,66 @@
+//! The block-device trait implemented by every FTL in this crate.
+
+use almanac_flash::{Lpa, Nanos, PageData};
+
+use crate::error::Result;
+use crate::stats::DeviceStats;
+
+/// Timing of one completed I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// When the device started serving the request (≥ arrival; later when the
+    /// device was busy, e.g. in GC).
+    pub start: Nanos,
+    /// When the request finished.
+    pub finish: Nanos,
+}
+
+impl Completion {
+    /// Response time relative to the arrival time `arrived`.
+    pub fn response(&self, arrived: Nanos) -> Nanos {
+        self.finish.saturating_sub(arrived)
+    }
+}
+
+/// A simulated SSD exposed as a page-granular block device.
+///
+/// All methods take the virtual arrival time `now`; implementations account
+/// internal work (garbage collection, compression) into the returned
+/// [`Completion`].
+pub trait SsdDevice {
+    /// Writes one page of data to `lpa`.
+    fn write(&mut self, lpa: Lpa, data: PageData, now: Nanos) -> Result<Completion>;
+
+    /// Reads the current content of `lpa`.
+    ///
+    /// Reading a never-written (or trimmed) page returns zeros without
+    /// touching flash, as the mapping table resolves it in firmware.
+    fn read(&mut self, lpa: Lpa, now: Nanos) -> Result<(PageData, Completion)>;
+
+    /// Invalidates `lpa` (TRIM/discard).
+    fn trim(&mut self, lpa: Lpa, now: Nanos) -> Result<Completion>;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> &DeviceStats;
+
+    /// Number of host-visible pages.
+    fn exported_pages(&self) -> u64;
+
+    /// Human-readable device kind (e.g. `"regular"`, `"timessd"`).
+    fn kind(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_is_relative_to_arrival() {
+        let c = Completion {
+            start: 50,
+            finish: 120,
+        };
+        assert_eq!(c.response(20), 100);
+        assert_eq!(c.response(200), 0);
+    }
+}

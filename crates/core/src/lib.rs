@@ -1,0 +1,58 @@
+//! Project Almanac core: the TimeSSD flash translation layer plus the
+//! regular-SSD and FlashGuard baselines it is evaluated against.
+//!
+//! This crate is the heart of the EuroSys'19 paper "Project Almanac: A
+//! Time-Traveling Solid-State Drive" reproduction:
+//!
+//! - [`TimeSsd`] — the time-traveling FTL that retains invalidated pages in
+//!   time order, delta-compresses them, and exposes per-LPA version chains.
+//! - [`RegularSsd`] — a conventional page-mapping FTL with greedy GC, used
+//!   as the baseline in Figures 6–7.
+//! - [`FlashGuardSsd`] — a reproduction of the FlashGuard comparator used in
+//!   Figure 10, which retains only pages suspected to be ransomware victims.
+//!
+//! All three implement the [`SsdDevice`] trait over the deterministic flash
+//! simulator in [`almanac_flash`].
+//!
+//! # Examples
+//!
+//! ```
+//! use almanac_core::{SsdConfig, SsdDevice, TimeSsd};
+//! use almanac_flash::{Geometry, Lpa, PageData};
+//!
+//! let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::small_test()));
+//! ssd.write(Lpa(1), PageData::bytes(b"v1".to_vec()), 1_000).unwrap();
+//! ssd.write(Lpa(1), PageData::bytes(b"v2".to_vec()), 2_000).unwrap();
+//! // Travel back in time: the old version is still there.
+//! let old = ssd.version_as_of(Lpa(1), 1_500).unwrap();
+//! assert_eq!(ssd.version_content(Lpa(1), old.timestamp).unwrap(),
+//!            PageData::bytes(b"v1".to_vec()));
+//! ```
+
+#![warn(missing_docs)]
+
+mod alloc;
+mod config;
+pub mod crypt;
+mod device;
+mod error;
+mod flashguard;
+mod mapcache;
+mod regular;
+mod stats;
+mod tables;
+mod timessd;
+
+pub use alloc::{Allocator, OpenBlock};
+pub use config::SsdConfig;
+pub use device::{Completion, SsdDevice};
+pub use error::{AlmanacError, Result};
+pub use flashguard::FlashGuardSsd;
+pub use mapcache::MapCache;
+pub use regular::RegularSsd;
+pub use stats::{DeviceStats, LatencyAcc};
+pub use tables::{Amt, AmtEntry, BlockInfo, BlockKind, Bst, Gmd, Imt, Prt, Pvt};
+pub use timessd::check::{ConsistencyReport, Violation};
+pub use timessd::query::{VersionInfo, VersionLocation};
+pub use timessd::retention::PeriodCounters;
+pub use timessd::{TimeSsd, REF_ZEROS};

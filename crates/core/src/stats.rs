@@ -1,0 +1,239 @@
+//! Device-level statistics: operation counts, latency accumulators, and
+//! write-amplification accounting.
+
+use almanac_flash::Nanos;
+
+/// Number of logarithmic histogram buckets (~2ns to ~1.2h spans).
+const BUCKETS: usize = 42;
+
+/// Latency accumulator for one operation class: average, max, and a
+/// log₂-bucketed histogram for percentile estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyAcc {
+    /// Total latency summed over operations.
+    pub sum_ns: Nanos,
+    /// Number of operations.
+    pub count: u64,
+    /// Worst observed latency.
+    pub max_ns: Nanos,
+    /// Log₂ histogram: bucket `i` counts samples in `[2^i, 2^(i+1))` ns.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for LatencyAcc {
+    fn default() -> Self {
+        LatencyAcc {
+            sum_ns: 0,
+            count: 0,
+            max_ns: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl LatencyAcc {
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Nanos) {
+        self.sum_ns += latency;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(latency);
+        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Average latency in nanoseconds (0 when empty).
+    pub fn avg_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated latency at quantile `q` (0.0–1.0) from the histogram;
+    /// resolution is one power of two.
+    pub fn quantile_ns(&self, q: f64) -> Nanos {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Midpoint of the bucket as the estimate.
+                return (1u64 << i) + (1u64 << i) / 2;
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median estimate.
+    pub fn p50_ns(&self) -> Nanos {
+        self.quantile_ns(0.50)
+    }
+
+    /// Tail-latency estimate.
+    pub fn p99_ns(&self) -> Nanos {
+        self.quantile_ns(0.99)
+    }
+}
+
+/// Cumulative statistics of one simulated SSD.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Host page reads served.
+    pub user_reads: u64,
+    /// Host page writes served.
+    pub user_writes: u64,
+    /// Host trims served.
+    pub user_trims: u64,
+    /// Flash programs for host data.
+    pub user_programs: u64,
+    /// Flash reads issued by GC (victim scans, chain traversals).
+    pub gc_reads: u64,
+    /// Flash programs issued by GC (valid-page migration).
+    pub gc_programs: u64,
+    /// Block erases issued by GC.
+    pub gc_erases: u64,
+    /// Versions delta-compressed during GC.
+    pub gc_compressions: u64,
+    /// Versions delta-compressed in idle cycles.
+    pub bg_compressions: u64,
+    /// Flash programs of packed delta pages.
+    pub delta_programs: u64,
+    /// Flash reads issued by background compression.
+    pub bg_reads: u64,
+    /// GC invocations.
+    pub gc_runs: u64,
+    /// Wear-leveling block swaps.
+    pub wl_swaps: u64,
+    /// Flash programs issued by wear leveling.
+    pub wl_programs: u64,
+    /// Bloom filters dropped to shorten the retention window.
+    pub filters_dropped: u64,
+    /// Read latency accumulator.
+    pub read_lat: LatencyAcc,
+    /// Write latency accumulator.
+    pub write_lat: LatencyAcc,
+    /// Total virtual time spent inside GC.
+    pub gc_time_ns: Nanos,
+}
+
+impl DeviceStats {
+    /// Write amplification: all flash programs divided by host-data programs.
+    ///
+    /// Returns 1.0 when no host writes have happened yet.
+    pub fn write_amplification(&self) -> f64 {
+        if self.user_programs == 0 {
+            return 1.0;
+        }
+        let total = self.user_programs + self.gc_programs + self.delta_programs + self.wl_programs;
+        total as f64 / self.user_programs as f64
+    }
+
+    /// Difference of two snapshots (`self - earlier`), for measuring a
+    /// window that excludes warm-up traffic. `max_ns` keeps the later
+    /// snapshot's value (maxima cannot be subtracted).
+    pub fn since(&self, earlier: &DeviceStats) -> DeviceStats {
+        let lat = |a: &LatencyAcc, b: &LatencyAcc| {
+            let mut buckets = a.buckets;
+            for (x, y) in buckets.iter_mut().zip(b.buckets.iter()) {
+                *x -= y;
+            }
+            LatencyAcc {
+                sum_ns: a.sum_ns - b.sum_ns,
+                count: a.count - b.count,
+                max_ns: a.max_ns,
+                buckets,
+            }
+        };
+        DeviceStats {
+            user_reads: self.user_reads - earlier.user_reads,
+            user_writes: self.user_writes - earlier.user_writes,
+            user_trims: self.user_trims - earlier.user_trims,
+            user_programs: self.user_programs - earlier.user_programs,
+            gc_reads: self.gc_reads - earlier.gc_reads,
+            gc_programs: self.gc_programs - earlier.gc_programs,
+            gc_erases: self.gc_erases - earlier.gc_erases,
+            gc_compressions: self.gc_compressions - earlier.gc_compressions,
+            bg_compressions: self.bg_compressions - earlier.bg_compressions,
+            delta_programs: self.delta_programs - earlier.delta_programs,
+            bg_reads: self.bg_reads - earlier.bg_reads,
+            gc_runs: self.gc_runs - earlier.gc_runs,
+            wl_swaps: self.wl_swaps - earlier.wl_swaps,
+            wl_programs: self.wl_programs - earlier.wl_programs,
+            filters_dropped: self.filters_dropped - earlier.filters_dropped,
+            read_lat: lat(&self.read_lat, &earlier.read_lat),
+            write_lat: lat(&self.write_lat, &earlier.write_lat),
+            gc_time_ns: self.gc_time_ns - earlier.gc_time_ns,
+        }
+    }
+
+    /// Average I/O response time across reads and writes, in nanoseconds.
+    pub fn avg_response_ns(&self) -> f64 {
+        let count = self.read_lat.count + self.write_lat.count;
+        if count == 0 {
+            return 0.0;
+        }
+        (self.read_lat.sum_ns + self.write_lat.sum_ns) as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_acc_tracks_avg_and_max() {
+        let mut acc = LatencyAcc::default();
+        acc.record(10);
+        acc.record(30);
+        assert_eq!(acc.count, 2);
+        assert!((acc.avg_ns() - 20.0).abs() < 1e-9);
+        assert_eq!(acc.max_ns, 30);
+    }
+
+    #[test]
+    fn quantiles_follow_the_distribution() {
+        let mut acc = LatencyAcc::default();
+        for _ in 0..99 {
+            acc.record(1_000); // ~bucket 9
+        }
+        acc.record(1_000_000); // one slow outlier (~bucket 19)
+        let p50 = acc.p50_ns();
+        assert!((512..2_048).contains(&p50), "p50 {p50}");
+        let p99 = acc.quantile_ns(0.995);
+        assert!(p99 >= 524_288, "p99.5 {p99} missed the outlier");
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(LatencyAcc::default().p99_ns(), 0);
+    }
+
+    #[test]
+    fn wa_counts_all_program_sources() {
+        let stats = DeviceStats {
+            user_programs: 100,
+            gc_programs: 30,
+            delta_programs: 10,
+            wl_programs: 10,
+            ..Default::default()
+        };
+        assert!((stats.write_amplification() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wa_defaults_to_one() {
+        assert!((DeviceStats::default().write_amplification() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_response_merges_classes() {
+        let mut stats = DeviceStats::default();
+        stats.read_lat.record(100);
+        stats.write_lat.record(300);
+        assert!((stats.avg_response_ns() - 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,392 @@
+//! FTL mapping and status tables.
+//!
+//! These mirror Figure 3 of the paper. Structures ①–④ exist in a regular
+//! SSD: the address mapping table (AMT), global mapping directory (GMD),
+//! block status table (BST), and page validity table (PVT). TimeSSD adds
+//! ⑤–⑧: the index mapping table (IMT), page reclamation table (PRT), the
+//! Bloom filters (in `almanac-bloom`), and the delta buffers (in
+//! `timessd::deltas`).
+
+use std::collections::HashMap;
+
+use almanac_bloom::FilterId;
+use almanac_flash::{BlockId, Geometry, Lpa, Nanos, Ppa};
+
+/// One entry of the address mapping table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AmtEntry {
+    /// Never written.
+    #[default]
+    Unmapped,
+    /// Mapped to a valid flash page.
+    Mapped(Ppa),
+    /// Trimmed: reads return zeros, but the old version chain stays
+    /// reachable through the remembered head so TimeKits can recover
+    /// deleted data.
+    Trimmed(Ppa),
+}
+
+impl AmtEntry {
+    /// The valid physical page, if mapped.
+    pub fn mapped(&self) -> Option<Ppa> {
+        match self {
+            AmtEntry::Mapped(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// The head of the version chain (valid page or pre-trim head).
+    pub fn chain_head(&self) -> Option<Ppa> {
+        match self {
+            AmtEntry::Mapped(p) | AmtEntry::Trimmed(p) => Some(*p),
+            AmtEntry::Unmapped => None,
+        }
+    }
+}
+
+/// Address mapping table ①: LPA → PPA for the latest valid version.
+#[derive(Debug, Clone)]
+pub struct Amt {
+    entries: Vec<AmtEntry>,
+}
+
+impl Amt {
+    /// Creates an all-unmapped table for `exported_pages` logical pages.
+    pub fn new(exported_pages: u64) -> Self {
+        Amt {
+            entries: vec![AmtEntry::Unmapped; exported_pages as usize],
+        }
+    }
+
+    /// Number of logical pages.
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// True if the table covers zero pages.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry; out-of-range is the caller's bug guarded upstream.
+    pub fn get(&self, lpa: Lpa) -> AmtEntry {
+        self.entries[lpa.0 as usize]
+    }
+
+    /// Replaces an entry, returning the previous one.
+    pub fn set(&mut self, lpa: Lpa, entry: AmtEntry) -> AmtEntry {
+        std::mem::replace(&mut self.entries[lpa.0 as usize], entry)
+    }
+
+    /// Iterates over `(lpa, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Lpa, AmtEntry)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (Lpa(i as u64), *e))
+    }
+}
+
+/// Global mapping directory ②: tracks the translation pages that would hold
+/// the AMT in flash.
+///
+/// The simulator keeps the AMT RAM-resident (the paper's board demand-caches
+/// it); the GMD still tracks which translation pages are dirty so the
+/// metadata write traffic can be studied in ablations.
+#[derive(Debug, Clone)]
+pub struct Gmd {
+    mappings_per_page: u64,
+    dirty: Vec<bool>,
+    flushes: u64,
+}
+
+impl Gmd {
+    /// Creates a directory for `exported_pages` mappings stored
+    /// `mappings_per_page` to a translation page.
+    pub fn new(exported_pages: u64, mappings_per_page: u64) -> Self {
+        let pages = exported_pages.div_ceil(mappings_per_page.max(1));
+        Gmd {
+            mappings_per_page: mappings_per_page.max(1),
+            dirty: vec![false; pages as usize],
+            flushes: 0,
+        }
+    }
+
+    /// Marks the translation page covering `lpa` dirty.
+    pub fn note_update(&mut self, lpa: Lpa) {
+        let idx = (lpa.0 / self.mappings_per_page) as usize;
+        if let Some(d) = self.dirty.get_mut(idx) {
+            *d = true;
+        }
+    }
+
+    /// Flushes all dirty translation pages, returning how many would be
+    /// written to flash.
+    pub fn flush(&mut self) -> u64 {
+        let n = self.dirty.iter().filter(|d| **d).count() as u64;
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        self.flushes += n;
+        n
+    }
+
+    /// Cumulative translation-page writes across all flushes.
+    pub fn total_flushed(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Number of currently dirty translation pages.
+    pub fn dirty_pages(&self) -> u64 {
+        self.dirty.iter().filter(|d| **d).count() as u64
+    }
+}
+
+/// Page validity table ④: one bit per physical page.
+#[derive(Debug, Clone)]
+pub struct Pvt {
+    valid: Vec<bool>,
+}
+
+impl Pvt {
+    /// All-invalid table over the whole array.
+    pub fn new(total_pages: u64) -> Self {
+        Pvt {
+            valid: vec![false; total_pages as usize],
+        }
+    }
+
+    /// Is the page valid?
+    pub fn is_valid(&self, ppa: Ppa) -> bool {
+        self.valid[ppa.0 as usize]
+    }
+
+    /// Sets validity.
+    pub fn set(&mut self, ppa: Ppa, valid: bool) {
+        self.valid[ppa.0 as usize] = valid;
+    }
+
+    /// Clears every page of a block (on erase).
+    pub fn clear_block(&mut self, geometry: &Geometry, block: BlockId) {
+        let start = block.0 * geometry.pages_per_block as u64;
+        for i in 0..geometry.pages_per_block as u64 {
+            self.valid[(start + i) as usize] = false;
+        }
+    }
+}
+
+/// Page reclamation table ⑥: marks invalid pages whose content has been
+/// delta-compressed (or found expired) and may be discarded by GC.
+#[derive(Debug, Clone)]
+pub struct Prt {
+    reclaimable: Vec<bool>,
+}
+
+impl Prt {
+    /// All-clear table over the whole array.
+    pub fn new(total_pages: u64) -> Self {
+        Prt {
+            reclaimable: vec![false; total_pages as usize],
+        }
+    }
+
+    /// Is the page reclaimable?
+    pub fn is_reclaimable(&self, ppa: Ppa) -> bool {
+        self.reclaimable[ppa.0 as usize]
+    }
+
+    /// Marks a page reclaimable.
+    pub fn mark(&mut self, ppa: Ppa) {
+        self.reclaimable[ppa.0 as usize] = true;
+    }
+
+    /// Clears every page of a block (on erase).
+    pub fn clear_block(&mut self, geometry: &Geometry, block: BlockId) {
+        let start = block.0 * geometry.pages_per_block as u64;
+        for i in 0..geometry.pages_per_block as u64 {
+            self.reclaimable[(start + i) as usize] = false;
+        }
+    }
+}
+
+/// What a block currently stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockKind {
+    /// In the free pool.
+    #[default]
+    Free,
+    /// Holds host data pages.
+    Data,
+    /// Holds packed delta pages dedicated to one Bloom filter segment
+    /// (the BST extension of §3.6/§3.8).
+    Delta(FilterId),
+}
+
+/// Per-block status ③.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockInfo {
+    /// Block role.
+    pub kind: BlockKind,
+    /// Pages programmed so far.
+    pub written: u32,
+    /// Pages currently valid (latest version of some LPA).
+    pub valid: u32,
+    /// Pages marked reclaimable in the PRT (subset of invalid pages).
+    pub reclaimable: u32,
+}
+
+impl BlockInfo {
+    /// Invalid pages = programmed pages that are not the valid latest
+    /// version (includes retained and reclaimable pages).
+    pub fn invalid(&self) -> u32 {
+        self.written - self.valid
+    }
+}
+
+/// Block status table ③ plus the delta-block extension.
+#[derive(Debug, Clone)]
+pub struct Bst {
+    blocks: Vec<BlockInfo>,
+}
+
+impl Bst {
+    /// All-free table.
+    pub fn new(total_blocks: u64) -> Self {
+        Bst {
+            blocks: vec![BlockInfo::default(); total_blocks as usize],
+        }
+    }
+
+    /// Immutable block info.
+    pub fn get(&self, block: BlockId) -> &BlockInfo {
+        &self.blocks[block.0 as usize]
+    }
+
+    /// Mutable block info.
+    pub fn get_mut(&mut self, block: BlockId) -> &mut BlockInfo {
+        &mut self.blocks[block.0 as usize]
+    }
+
+    /// Iterates `(block, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &BlockInfo)> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u64), b))
+    }
+
+    /// Resets a block to free (after erase).
+    pub fn reset(&mut self, block: BlockId) {
+        self.blocks[block.0 as usize] = BlockInfo::default();
+    }
+}
+
+/// Index mapping table ⑤: LPA → PPA of the delta page holding the newest
+/// compressed version of that LPA.
+#[derive(Debug, Clone, Default)]
+pub struct Imt {
+    heads: HashMap<Lpa, (Ppa, Nanos)>,
+}
+
+impl Imt {
+    /// Empty table.
+    pub fn new() -> Self {
+        Imt::default()
+    }
+
+    /// Head of the delta chain for `lpa`: the delta page and the timestamp of
+    /// the newest compressed version.
+    pub fn head(&self, lpa: Lpa) -> Option<(Ppa, Nanos)> {
+        self.heads.get(&lpa).copied()
+    }
+
+    /// Updates the chain head.
+    pub fn set_head(&mut self, lpa: Lpa, page: Ppa, newest_ts: Nanos) {
+        self.heads.insert(lpa, (page, newest_ts));
+    }
+
+    /// Removes the chain head (when the whole delta chain expired).
+    pub fn remove(&mut self, lpa: Lpa) -> Option<(Ppa, Nanos)> {
+        self.heads.remove(&lpa)
+    }
+
+    /// Number of LPAs with compressed versions.
+    pub fn len(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// True if no LPA has compressed versions.
+    pub fn is_empty(&self) -> bool {
+        self.heads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amt_transitions() {
+        let mut amt = Amt::new(4);
+        assert_eq!(amt.get(Lpa(0)), AmtEntry::Unmapped);
+        amt.set(Lpa(0), AmtEntry::Mapped(Ppa(5)));
+        assert_eq!(amt.get(Lpa(0)).mapped(), Some(Ppa(5)));
+        amt.set(Lpa(0), AmtEntry::Trimmed(Ppa(5)));
+        assert_eq!(amt.get(Lpa(0)).mapped(), None);
+        assert_eq!(amt.get(Lpa(0)).chain_head(), Some(Ppa(5)));
+    }
+
+    #[test]
+    fn gmd_tracks_dirty_translation_pages() {
+        let mut gmd = Gmd::new(100, 10);
+        gmd.note_update(Lpa(0));
+        gmd.note_update(Lpa(5)); // same translation page
+        gmd.note_update(Lpa(95));
+        assert_eq!(gmd.dirty_pages(), 2);
+        assert_eq!(gmd.flush(), 2);
+        assert_eq!(gmd.dirty_pages(), 0);
+        assert_eq!(gmd.total_flushed(), 2);
+    }
+
+    #[test]
+    fn pvt_block_clear() {
+        let geo = Geometry::small_test();
+        let mut pvt = Pvt::new(geo.total_pages());
+        let ppa = geo.ppa(1, 3);
+        pvt.set(ppa, true);
+        assert!(pvt.is_valid(ppa));
+        pvt.clear_block(&geo, BlockId(1));
+        assert!(!pvt.is_valid(ppa));
+    }
+
+    #[test]
+    fn prt_block_clear() {
+        let geo = Geometry::small_test();
+        let mut prt = Prt::new(geo.total_pages());
+        let ppa = geo.ppa(2, 0);
+        prt.mark(ppa);
+        assert!(prt.is_reclaimable(ppa));
+        prt.clear_block(&geo, BlockId(2));
+        assert!(!prt.is_reclaimable(ppa));
+    }
+
+    #[test]
+    fn bst_invalid_derives_from_counts() {
+        let mut bst = Bst::new(2);
+        let info = bst.get_mut(BlockId(0));
+        info.kind = BlockKind::Data;
+        info.written = 8;
+        info.valid = 5;
+        assert_eq!(bst.get(BlockId(0)).invalid(), 3);
+        bst.reset(BlockId(0));
+        assert_eq!(bst.get(BlockId(0)).kind, BlockKind::Free);
+    }
+
+    #[test]
+    fn imt_head_roundtrip() {
+        let mut imt = Imt::new();
+        assert!(imt.head(Lpa(1)).is_none());
+        imt.set_head(Lpa(1), Ppa(9), 77);
+        assert_eq!(imt.head(Lpa(1)), Some((Ppa(9), 77)));
+        assert_eq!(imt.remove(Lpa(1)), Some((Ppa(9), 77)));
+        assert!(imt.is_empty());
+    }
+}

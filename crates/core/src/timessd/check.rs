@@ -1,0 +1,258 @@
+//! Consistency checking: an `fsck` for the TimeSSD's internal state.
+//!
+//! Verifies every cross-structure invariant the FTL relies on. Used by the
+//! property tests after heavy churn, and available to embedders as a
+//! diagnostic (`TimeSsd::check_consistency`).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use almanac_flash::{Lpa, PageData, Ppa};
+
+use crate::tables::{AmtEntry, BlockKind};
+
+use super::TimeSsd;
+
+/// One detected inconsistency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A mapped LPA points at a page that is not valid in the PVT.
+    MappedPageNotValid(Lpa, Ppa),
+    /// A mapped LPA's page carries OOB metadata for a different LPA.
+    OobOwnerMismatch(Lpa, Ppa, Lpa),
+    /// A block's BST valid counter disagrees with a PVT recount.
+    BstValidMiscount {
+        /// The block.
+        block: u64,
+        /// What the BST says.
+        bst: u32,
+        /// What the PVT recount says.
+        recount: u32,
+    },
+    /// A page is marked reclaimable but still valid.
+    ReclaimableValidPage(Ppa),
+    /// A free-pool block still holds programmed pages in the BST.
+    FreeBlockNotEmpty(u64),
+    /// Two LPAs map to the same physical page.
+    DoubleMapped(Ppa),
+    /// A version chain has non-decreasing timestamps.
+    ChainOrderViolation(Lpa),
+    /// A delta block's filter is neither live nor pending erase bookkeeping.
+    OrphanDeltaBlock(u64),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MappedPageNotValid(l, p) => write!(f, "{l} maps to non-valid {p}"),
+            Violation::OobOwnerMismatch(l, p, o) => {
+                write!(f, "{l} maps to {p} whose OOB claims {o}")
+            }
+            Violation::BstValidMiscount {
+                block,
+                bst,
+                recount,
+            } => {
+                write!(
+                    f,
+                    "block B{block}: BST valid={bst} but PVT recount={recount}"
+                )
+            }
+            Violation::ReclaimableValidPage(p) => write!(f, "valid page {p} marked reclaimable"),
+            Violation::FreeBlockNotEmpty(b) => write!(f, "free block B{b} has written pages"),
+            Violation::DoubleMapped(p) => write!(f, "{p} mapped by two LPAs"),
+            Violation::ChainOrderViolation(l) => {
+                write!(f, "{l} version chain timestamps not strictly decreasing")
+            }
+            Violation::OrphanDeltaBlock(b) => write!(f, "delta block B{b} has no live filter"),
+        }
+    }
+}
+
+/// Outcome of a consistency check.
+#[derive(Debug, Clone, Default)]
+pub struct ConsistencyReport {
+    /// Every violation found.
+    pub violations: Vec<Violation>,
+    /// Mapped LPAs inspected.
+    pub mapped_lpas: u64,
+    /// Version-chain entries walked.
+    pub chain_entries: u64,
+}
+
+impl ConsistencyReport {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl TimeSsd {
+    /// Audits the device's internal invariants; read-only.
+    pub fn check_consistency(&self) -> ConsistencyReport {
+        let mut report = ConsistencyReport::default();
+        let geo = self.config.geometry;
+
+        // 1. AMT ↔ PVT ↔ OOB agreement, and no double mapping.
+        let mut seen: HashSet<Ppa> = HashSet::new();
+        for (lpa, entry) in self.amt.iter() {
+            if let AmtEntry::Mapped(ppa) = entry {
+                report.mapped_lpas += 1;
+                if !self.pvt.is_valid(ppa) {
+                    report
+                        .violations
+                        .push(Violation::MappedPageNotValid(lpa, ppa));
+                }
+                if !seen.insert(ppa) {
+                    report.violations.push(Violation::DoubleMapped(ppa));
+                }
+                match self.flash.peek(ppa) {
+                    Ok((_, oob)) if oob.lpa != lpa => {
+                        report
+                            .violations
+                            .push(Violation::OobOwnerMismatch(lpa, ppa, oob.lpa));
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        report
+                            .violations
+                            .push(Violation::MappedPageNotValid(lpa, ppa));
+                    }
+                }
+            }
+        }
+
+        // 2. BST valid counters match a PVT recount; free blocks are empty;
+        //    reclaimable pages are never valid; delta blocks have live filters.
+        let live: HashSet<u64> = self.chain.infos().iter().map(|i| i.id).collect();
+        for (block, info) in self.bst.iter() {
+            let mut recount = 0;
+            for off in 0..geo.pages_per_block {
+                let ppa = geo.ppa(block.0, off);
+                if self.pvt.is_valid(ppa) {
+                    recount += 1;
+                    if self.prt.is_reclaimable(ppa) {
+                        report.violations.push(Violation::ReclaimableValidPage(ppa));
+                    }
+                }
+            }
+            if recount != info.valid {
+                report.violations.push(Violation::BstValidMiscount {
+                    block: block.0,
+                    bst: info.valid,
+                    recount,
+                });
+            }
+            match info.kind {
+                BlockKind::Free => {
+                    if info.written != 0 || recount != 0 {
+                        report
+                            .violations
+                            .push(Violation::FreeBlockNotEmpty(block.0));
+                    }
+                }
+                BlockKind::Delta(fid) => {
+                    // An expired filter's blocks are legal only until GC
+                    // erases them lazily; they must at least still hold
+                    // delta pages, not data.
+                    if !live.contains(&fid) {
+                        // Lazy-erase pending: acceptable, not a violation.
+                    }
+                    for off in 0..info.written.min(geo.pages_per_block) {
+                        let ppa = geo.ppa(block.0, off);
+                        if let Ok((data, _)) = self.flash.peek(ppa) {
+                            if !matches!(data, PageData::DeltaPage(_)) {
+                                report.violations.push(Violation::OrphanDeltaBlock(block.0));
+                                break;
+                            }
+                        }
+                    }
+                }
+                BlockKind::Data => {}
+            }
+        }
+
+        // 3. Version chains strictly decrease in time.
+        for (lpa, entry) in self.amt.iter() {
+            if matches!(entry, AmtEntry::Unmapped) && self.imt.head(lpa).is_none() {
+                continue;
+            }
+            let chain = self.version_chain(lpa);
+            report.chain_entries += chain.len() as u64;
+            if !chain.windows(2).all(|w| w[0].timestamp > w[1].timestamp) {
+                report.violations.push(Violation::ChainOrderViolation(lpa));
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SsdConfig;
+    use crate::device::SsdDevice;
+    use almanac_flash::{Geometry, SEC_NS};
+
+    #[test]
+    fn fresh_device_is_clean() {
+        let ssd = TimeSsd::new(SsdConfig::new(Geometry::small_test()));
+        let report = ssd.check_consistency();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn light_use_stays_clean() {
+        let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+        let mut now = SEC_NS;
+        for i in 0..200u64 {
+            let lpa = Lpa(i % 37);
+            let c = ssd
+                .write(
+                    lpa,
+                    PageData::Synthetic {
+                        seed: lpa.0,
+                        version: i,
+                    },
+                    now,
+                )
+                .unwrap();
+            now = c.finish + SEC_NS;
+        }
+        ssd.trim(Lpa(5), now).unwrap();
+        let report = ssd.check_consistency();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.mapped_lpas > 0);
+        assert!(report.chain_entries >= 200);
+    }
+
+    #[test]
+    fn heavy_churn_with_gc_stays_clean() {
+        let mut cfg = SsdConfig::new(Geometry::medium_test()).with_min_retention(0);
+        cfg.n_fixed = 256;
+        let mut ssd = TimeSsd::new(cfg);
+        let set = ssd.exported_pages() / 3;
+        let mut now = SEC_NS;
+        for i in 0..15_000u64 {
+            let lpa = Lpa(i % set);
+            let c = ssd
+                .write(
+                    lpa,
+                    PageData::Synthetic {
+                        seed: lpa.0,
+                        version: i,
+                    },
+                    now,
+                )
+                .unwrap();
+            now = c.finish + 50_000;
+        }
+        assert!(ssd.stats().gc_erases > 0);
+        let report = ssd.check_consistency();
+        assert!(
+            report.is_clean(),
+            "{:?}",
+            &report.violations[..report.violations.len().min(5)]
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! Delta buffers and per-filter delta blocks (⑧ of Figure 3 and §3.6).
+//!
+//! Compressed old versions are coalesced in per-filter delta buffers until a
+//! buffer fills a page, which is then programmed into a delta block
+//! *dedicated to that filter's time segment*. When the retention window is
+//! shortened by dropping the oldest Bloom filter, every delta block dedicated
+//! to it contains only expired versions and can be erased without migration.
+//!
+//! Each buffer *reserves* its flash page when it is created, so the physical
+//! address of a delta page is known before the page is programmed — this is
+//! what lets back-pointers into not-yet-flushed delta pages be chained
+//! safely. A reserved-but-unflushed page is readable through
+//! [`DeltaManager::buffered_page`], modelling the firmware reading its own
+//! RAM.
+
+use std::collections::HashMap;
+
+use almanac_bloom::FilterId;
+use almanac_flash::{BlockId, DeltaPage, DeltaRecord, FlashArray, Geometry, Lpa, Nanos, Oob, Ppa};
+
+use crate::alloc::{Allocator, OpenBlock};
+use crate::error::{AlmanacError, Result};
+use crate::tables::{BlockKind, Bst};
+
+/// The LPA recorded in the OOB of packed delta pages (they belong to no
+/// single logical page).
+const DELTA_PAGE_OOB_LPA: Lpa = Lpa(u64::MAX);
+
+struct Buffer {
+    reserved: Ppa,
+    page: DeltaPage,
+    used: u32,
+}
+
+/// Outcome of appending one delta record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Delta page (possibly still buffered) that holds the record.
+    pub page: Ppa,
+    /// Completion time including any flush program that was needed.
+    pub finish: Nanos,
+    /// Number of flash programs performed (0 or 1).
+    pub programs: u64,
+}
+
+/// Manager of delta buffers, active delta blocks, and per-filter block sets.
+pub struct DeltaManager {
+    geometry: Geometry,
+    buffers: HashMap<FilterId, Buffer>,
+    active_blocks: HashMap<FilterId, OpenBlock>,
+    blocks: HashMap<FilterId, Vec<BlockId>>,
+}
+
+impl DeltaManager {
+    /// Creates an empty manager.
+    pub fn new(geometry: Geometry) -> Self {
+        DeltaManager {
+            geometry,
+            buffers: HashMap::new(),
+            active_blocks: HashMap::new(),
+            blocks: HashMap::new(),
+        }
+    }
+
+    /// Usable payload bytes of a delta page holding `n` deltas.
+    fn capacity_for(&self, n: usize) -> u32 {
+        self.geometry
+            .page_size
+            .saturating_sub(DeltaPage::header_bytes(n))
+    }
+
+    /// Largest single delta that fits an empty page.
+    pub fn max_delta_size(&self) -> u32 {
+        self.capacity_for(1)
+    }
+
+    /// Reserves the next page of `filter`'s active delta block, opening a new
+    /// block from the free pool when needed.
+    fn reserve_page(
+        &mut self,
+        filter: FilterId,
+        alloc: &mut Allocator,
+        bst: &mut Bst,
+        now: Nanos,
+    ) -> Result<Ppa> {
+        let need_new = match self.active_blocks.get(&filter) {
+            None => true,
+            Some(open) => open.next_off >= self.geometry.pages_per_block,
+        };
+        if need_new {
+            let block = alloc.alloc_block(None).ok_or(AlmanacError::DeviceStalled {
+                now,
+                retention_window: 0,
+            })?;
+            bst.get_mut(block).kind = BlockKind::Delta(filter);
+            self.blocks.entry(filter).or_default().push(block);
+            self.active_blocks
+                .insert(filter, OpenBlock { block, next_off: 0 });
+        }
+        let open = self
+            .active_blocks
+            .get_mut(&filter)
+            .expect("just ensured active block");
+        let ppa = self.geometry.ppa(open.block.0, open.next_off);
+        open.next_off += 1;
+        Ok(ppa)
+    }
+
+    /// Appends a record to `filter`'s buffer, flushing the buffer to flash
+    /// first when the record does not fit.
+    ///
+    /// The caller fills in every field of `record` except `size` clamping:
+    /// oversized deltas are clamped to the page payload capacity.
+    pub fn append(
+        &mut self,
+        filter: FilterId,
+        mut record: DeltaRecord,
+        alloc: &mut Allocator,
+        bst: &mut Bst,
+        flash: &mut FlashArray,
+        now: Nanos,
+    ) -> Result<AppendOutcome> {
+        record.size = record.size.min(self.max_delta_size());
+        let mut finish = now;
+        let mut programs = 0;
+
+        let fits = |buf: &Buffer, rec: &DeltaRecord, cap: u32| buf.used + rec.size <= cap;
+        let needs_flush = match self.buffers.get(&filter) {
+            None => false,
+            Some(buf) => !fits(buf, &record, self.capacity_for(buf.page.deltas.len() + 1)),
+        };
+        if needs_flush {
+            let (t, p) = self.flush_filter(filter, bst, flash, finish)?;
+            finish = t;
+            programs += p;
+        }
+        if !self.buffers.contains_key(&filter) {
+            let reserved = self.reserve_page(filter, alloc, bst, finish)?;
+            self.buffers.insert(
+                filter,
+                Buffer {
+                    reserved,
+                    page: DeltaPage::default(),
+                    used: 0,
+                },
+            );
+        }
+        let buf = self.buffers.get_mut(&filter).expect("just ensured buffer");
+        buf.used += record.size;
+        buf.page.deltas.insert(0, record); // newest first within the page
+        Ok(AppendOutcome {
+            page: buf.reserved,
+            finish,
+            programs,
+        })
+    }
+
+    /// Flushes `filter`'s buffer (if any) to its reserved flash page.
+    pub fn flush_filter(
+        &mut self,
+        filter: FilterId,
+        bst: &mut Bst,
+        flash: &mut FlashArray,
+        now: Nanos,
+    ) -> Result<(Nanos, u64)> {
+        let Some(buf) = self.buffers.remove(&filter) else {
+            return Ok((now, 0));
+        };
+        let oob = Oob::new(DELTA_PAGE_OOB_LPA, None, now);
+        let finish = flash.program(
+            buf.reserved,
+            almanac_flash::PageData::DeltaPage(std::sync::Arc::new(buf.page)),
+            oob,
+            now,
+        )?;
+        let block = self.geometry.block_of(buf.reserved);
+        bst.get_mut(block).written += 1;
+        Ok((finish, 1))
+    }
+
+    /// Flushes every buffer (shutdown / test hook).
+    pub fn flush_all(
+        &mut self,
+        bst: &mut Bst,
+        flash: &mut FlashArray,
+        now: Nanos,
+    ) -> Result<(Nanos, u64)> {
+        let filters: Vec<FilterId> = self.buffers.keys().copied().collect();
+        let mut t = now;
+        let mut programs = 0;
+        for f in filters {
+            let (ft, p) = self.flush_filter(f, bst, flash, t)?;
+            t = ft;
+            programs += p;
+        }
+        Ok((t, programs))
+    }
+
+    /// Reads a reserved-but-unflushed delta page from the buffers.
+    pub fn buffered_page(&self, ppa: Ppa) -> Option<&DeltaPage> {
+        self.buffers
+            .values()
+            .find(|b| b.reserved == ppa)
+            .map(|b| &b.page)
+    }
+
+    /// Forgets a filter: discards its buffer and active block and returns the
+    /// delta blocks that are now fully expired.
+    pub fn drop_filter(&mut self, filter: FilterId) -> Vec<BlockId> {
+        self.buffers.remove(&filter);
+        self.active_blocks.remove(&filter);
+        self.blocks.remove(&filter).unwrap_or_default()
+    }
+
+    /// Adopts an existing on-flash delta block into a filter's set (used by
+    /// power-cycle rebuild).
+    pub fn adopt_block(&mut self, filter: FilterId, block: BlockId) {
+        self.blocks.entry(filter).or_default().push(block);
+    }
+
+    /// Removes one erased block from a filter's set (lazy GC path).
+    pub fn forget_block(&mut self, filter: FilterId, block: BlockId) {
+        if let Some(list) = self.blocks.get_mut(&filter) {
+            list.retain(|b| *b != block);
+            if list.is_empty() {
+                self.blocks.remove(&filter);
+                self.buffers.remove(&filter);
+                self.active_blocks.remove(&filter);
+            }
+        }
+    }
+
+    /// Total delta blocks currently dedicated to live filters.
+    pub fn block_count(&self) -> usize {
+        self.blocks.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use almanac_flash::{DeltaBody, Geometry, LatencyConfig};
+
+    fn fixture() -> (DeltaManager, Allocator, Bst, FlashArray) {
+        let geo = Geometry::small_test();
+        (
+            DeltaManager::new(geo),
+            Allocator::new(geo),
+            Bst::new(geo.total_blocks()),
+            FlashArray::new(geo, LatencyConfig::default()),
+        )
+    }
+
+    fn record(lpa: u64, ts: Nanos, size: u32) -> DeltaRecord {
+        DeltaRecord {
+            lpa: Lpa(lpa),
+            back_ptr: None,
+            timestamp: ts,
+            ref_timestamp: ts + 1,
+            body: DeltaBody::Zeros,
+            size,
+        }
+    }
+
+    #[test]
+    fn append_reserves_a_real_page() {
+        let (mut mgr, mut alloc, mut bst, mut flash) = fixture();
+        let out = mgr
+            .append(0, record(1, 10, 100), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        assert_eq!(out.programs, 0);
+        assert!(mgr.buffered_page(out.page).is_some());
+        assert_eq!(mgr.block_count(), 1);
+    }
+
+    #[test]
+    fn buffer_flushes_when_full() {
+        let (mut mgr, mut alloc, mut bst, mut flash) = fixture();
+        let big = mgr.max_delta_size() / 2 + 1;
+        let a = mgr
+            .append(1, record(1, 10, big), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        let b = mgr
+            .append(
+                1,
+                record(1, 20, big),
+                &mut alloc,
+                &mut bst,
+                &mut flash,
+                a.finish,
+            )
+            .unwrap();
+        assert_eq!(b.programs, 1, "first buffer should have been flushed");
+        assert_ne!(a.page, b.page);
+        // The flushed page is now on flash, not buffered.
+        assert!(mgr.buffered_page(a.page).is_none());
+        assert!(flash.peek(a.page).is_ok());
+    }
+
+    #[test]
+    fn flushed_page_contains_records() {
+        let (mut mgr, mut alloc, mut bst, mut flash) = fixture();
+        let out = mgr
+            .append(2, record(7, 5, 64), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        mgr.flush_filter(2, &mut bst, &mut flash, out.finish)
+            .unwrap();
+        let (data, _) = flash.peek(out.page).unwrap();
+        match data {
+            almanac_flash::PageData::DeltaPage(dp) => {
+                assert!(dp.find(Lpa(7), 5).is_some());
+            }
+            other => panic!("expected delta page, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_delta_is_clamped() {
+        let (mut mgr, mut alloc, mut bst, mut flash) = fixture();
+        let out = mgr
+            .append(
+                0,
+                record(1, 1, u32::MAX),
+                &mut alloc,
+                &mut bst,
+                &mut flash,
+                0,
+            )
+            .unwrap();
+        let page = mgr.buffered_page(out.page).unwrap();
+        assert_eq!(page.deltas[0].size, mgr.max_delta_size());
+    }
+
+    #[test]
+    fn drop_filter_returns_blocks() {
+        let (mut mgr, mut alloc, mut bst, mut flash) = fixture();
+        mgr.append(3, record(1, 1, 10), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        let blocks = mgr.drop_filter(3);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(mgr.block_count(), 0);
+        assert!(mgr.buffered_page(Ppa(0)).is_none());
+    }
+
+    #[test]
+    fn separate_filters_use_separate_blocks() {
+        let (mut mgr, mut alloc, mut bst, mut flash) = fixture();
+        let a = mgr
+            .append(0, record(1, 1, 10), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        let b = mgr
+            .append(1, record(1, 2, 10), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        let geo = Geometry::small_test();
+        assert_ne!(geo.block_of(a.page), geo.block_of(b.page));
+        assert_eq!(mgr.block_count(), 2);
+    }
+
+    #[test]
+    fn newest_record_is_first_in_page() {
+        let (mut mgr, mut alloc, mut bst, mut flash) = fixture();
+        mgr.append(0, record(1, 10, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        let out = mgr
+            .append(0, record(1, 20, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        let page = mgr.buffered_page(out.page).unwrap();
+        assert_eq!(page.deltas[0].timestamp, 20);
+        assert_eq!(page.deltas[1].timestamp, 10);
+    }
+}

@@ -1,0 +1,313 @@
+//! The time-travel index: version-chain traversal and version decoding
+//! (§3.7 and the firmware half of §3.9's state query engine).
+//!
+//! Every LPA's history is a reverse chain: the valid head (from the AMT),
+//! then uncompressed invalid versions linked by OOB back-pointers (the *data
+//! page chain*), then compressed versions inside delta pages linked through
+//! the index mapping table (the *delta page chain*). Traversal is defensive
+//! exactly as the paper prescribes: each hop verifies the owning LPA and a
+//! strictly decreasing timestamp, so chains broken by GC or expiry terminate
+//! cleanly instead of returning wrong data.
+
+use almanac_flash::{DeltaBody, DeltaPage, Lpa, Nanos, PageData, Ppa};
+
+use crate::error::{AlmanacError, Result};
+use crate::tables::{AmtEntry, BlockKind};
+
+use super::{TimeSsd, REF_ZEROS};
+
+/// Where one version physically lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionLocation {
+    /// An uncompressed flash data page.
+    DataPage(Ppa),
+    /// A delta inside a flushed delta page.
+    DeltaPage(Ppa),
+    /// A delta inside a reserved-but-unflushed delta buffer (firmware RAM).
+    BufferedDelta(Ppa),
+}
+
+impl VersionLocation {
+    /// The physical page backing this version.
+    pub fn ppa(&self) -> Ppa {
+        match self {
+            VersionLocation::DataPage(p)
+            | VersionLocation::DeltaPage(p)
+            | VersionLocation::BufferedDelta(p) => *p,
+        }
+    }
+
+    /// True when retrieving this version costs a flash read.
+    pub fn needs_flash_read(&self) -> bool {
+        !matches!(self, VersionLocation::BufferedDelta(_))
+    }
+}
+
+/// One version of a logical page found in the time-travel index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionInfo {
+    /// The logical page.
+    pub lpa: Lpa,
+    /// When this version was written.
+    pub timestamp: Nanos,
+    /// Where it lives.
+    pub location: VersionLocation,
+    /// True for the current valid version.
+    pub is_head: bool,
+    /// Chip a flash read for this version lands on (`None` for buffered
+    /// deltas) — used by TimeKits for channel-parallel query scheduling.
+    pub chip: Option<u32>,
+}
+
+/// Hard bound on chain length walked per LPA, against pathological loops.
+const MAX_CHAIN: usize = 65_536;
+
+impl TimeSsd {
+    /// Reads a delta page, transparently resolving unflushed buffers.
+    fn delta_page_at(&self, ppa: Ppa) -> Option<DeltaPage> {
+        if let Some(page) = self.deltas.buffered_page(ppa) {
+            return Some(page.clone());
+        }
+        match self.flash.peek(ppa) {
+            Ok((PageData::DeltaPage(dp), _)) => Some(dp.as_ref().clone()),
+            _ => None,
+        }
+    }
+
+    fn delta_page_live(&self, ppa: Ppa) -> bool {
+        if self.deltas.buffered_page(ppa).is_some() {
+            return true;
+        }
+        match self.bst.get(self.config.geometry.block_of(ppa)).kind {
+            BlockKind::Delta(fid) => self.chain.infos().iter().any(|i| i.id == fid),
+            _ => false,
+        }
+    }
+
+    /// Returns the full retrievable version chain of `lpa`, newest first.
+    ///
+    /// The valid head (if any) is first with `is_head = true`; retained
+    /// versions follow in strictly decreasing timestamp order. Expired
+    /// versions are excluded.
+    pub fn version_chain(&self, lpa: Lpa) -> Vec<VersionInfo> {
+        let geo = self.config.geometry;
+        let mut out = Vec::new();
+        let mut min_ts = Nanos::MAX;
+        let mut cursor: Option<Ppa> = None;
+        match self.amt.get(lpa) {
+            AmtEntry::Mapped(head) => {
+                if let Ok((_, oob)) = self.flash.peek(head) {
+                    out.push(VersionInfo {
+                        lpa,
+                        timestamp: oob.timestamp,
+                        location: VersionLocation::DataPage(head),
+                        is_head: true,
+                        chip: Some(geo.chip_of_ppa(head)),
+                    });
+                    min_ts = oob.timestamp;
+                    cursor = oob.back_ptr;
+                }
+            }
+            AmtEntry::Trimmed(head) => cursor = Some(head),
+            AmtEntry::Unmapped => {}
+        }
+
+        let mut tried_imt = false;
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            if steps > MAX_CHAIN {
+                break;
+            }
+            let Some(ppa) = cursor else {
+                // Data chain ended; continue into the delta chain once.
+                if tried_imt {
+                    break;
+                }
+                tried_imt = true;
+                cursor = match self.imt.head(lpa) {
+                    Some((page, newest)) if newest < min_ts => Some(page),
+                    _ => None,
+                };
+                continue;
+            };
+
+            // Delta page (flushed or buffered)?
+            if let Some(dp) = self.delta_page_at(ppa) {
+                if !self.delta_page_live(ppa) {
+                    break; // expired segment
+                }
+                let best = dp
+                    .deltas
+                    .iter()
+                    .filter(|d| d.lpa == lpa && d.timestamp < min_ts)
+                    .max_by_key(|d| d.timestamp);
+                let Some(rec) = best else {
+                    break;
+                };
+                let buffered = self.deltas.buffered_page(ppa).is_some();
+                out.push(VersionInfo {
+                    lpa,
+                    timestamp: rec.timestamp,
+                    location: if buffered {
+                        VersionLocation::BufferedDelta(ppa)
+                    } else {
+                        VersionLocation::DeltaPage(ppa)
+                    },
+                    is_head: false,
+                    chip: if buffered {
+                        None
+                    } else {
+                        Some(geo.chip_of_ppa(ppa))
+                    },
+                });
+                min_ts = rec.timestamp;
+                cursor = rec.back_ptr;
+                if cursor.is_none() {
+                    // The delta chain itself ended.
+                    tried_imt = true;
+                }
+                continue;
+            }
+
+            // Data page: verify ownership and ordering (§3.7).
+            match self.flash.peek(ppa) {
+                Ok((_, oob)) => {
+                    if oob.lpa != lpa || oob.timestamp >= min_ts {
+                        cursor = None;
+                        continue; // broken link → try IMT
+                    }
+                    if self.prt.is_reclaimable(ppa) {
+                        // Compressed copy exists; the delta chain covers it.
+                        cursor = None;
+                        continue;
+                    }
+                    if !self.chain.contains(self.group_of(ppa)) {
+                        break; // expired tail
+                    }
+                    out.push(VersionInfo {
+                        lpa,
+                        timestamp: oob.timestamp,
+                        location: VersionLocation::DataPage(ppa),
+                        is_head: false,
+                        chip: Some(geo.chip_of_ppa(ppa)),
+                    });
+                    min_ts = oob.timestamp;
+                    cursor = oob.back_ptr;
+                }
+                Err(_) => {
+                    cursor = None; // erased/free → try IMT
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialises the content of the version of `lpa` written at exactly
+    /// `timestamp`, decompressing deltas (recursively resolving reference
+    /// versions) as needed. Uses the device's configured retention key, i.e.
+    /// the authorized-owner path.
+    pub fn version_content(&self, lpa: Lpa, timestamp: Nanos) -> Result<PageData> {
+        self.version_content_keyed(lpa, timestamp, self.config.retention_key, 0)
+    }
+
+    /// Like [`Self::version_content`] but decrypting retained data with the
+    /// *caller's* key — models an adversary (or a forensic analyst) holding
+    /// the drive: without the right key, §3.10-encrypted history does not
+    /// decode.
+    pub fn version_content_with_key(
+        &self,
+        lpa: Lpa,
+        timestamp: Nanos,
+        key: Option<u64>,
+    ) -> Result<PageData> {
+        self.version_content_keyed(lpa, timestamp, key, 0)
+    }
+
+    fn version_content_keyed(
+        &self,
+        lpa: Lpa,
+        timestamp: Nanos,
+        key: Option<u64>,
+        depth: u32,
+    ) -> Result<PageData> {
+        if depth > 64 {
+            return Err(AlmanacError::DecodeFailed("reference chain too deep"));
+        }
+        let chain = self.version_chain(lpa);
+        let Some(v) = chain.iter().find(|v| v.timestamp == timestamp) else {
+            return Err(AlmanacError::NoSuchVersion { lpa, at: timestamp });
+        };
+        match v.location {
+            VersionLocation::DataPage(ppa) => {
+                let (data, _) = self.flash.peek(ppa)?;
+                Ok(data.clone())
+            }
+            VersionLocation::DeltaPage(ppa) | VersionLocation::BufferedDelta(ppa) => {
+                let dp = self
+                    .delta_page_at(ppa)
+                    .ok_or(AlmanacError::DecodeFailed("delta page vanished"))?;
+                let rec = dp
+                    .find(lpa, timestamp)
+                    .ok_or(AlmanacError::DecodeFailed("delta record vanished"))?;
+                match &rec.body {
+                    DeltaBody::Synthetic { seed, version } => Ok(PageData::Synthetic {
+                        seed: *seed,
+                        version: *version,
+                    }),
+                    DeltaBody::Zeros => Ok(PageData::Zeros),
+                    DeltaBody::Bytes(encoded) => {
+                        let page_size = self.config.geometry.page_size as usize;
+                        let ref_bytes = if rec.ref_timestamp == REF_ZEROS {
+                            vec![0u8; page_size]
+                        } else {
+                            self.version_content_keyed(lpa, rec.ref_timestamp, key, depth + 1)?
+                                .materialize(page_size)
+                        };
+                        let mut payload = encoded.clone();
+                        if self.config.retention_key.is_some() {
+                            // Decrypt with whatever key the caller supplied;
+                            // a wrong key yields garbage that fails to decode
+                            // (or decodes to ciphertext-like noise).
+                            crate::crypt::apply_keystream(
+                                key.unwrap_or(0),
+                                lpa,
+                                rec.timestamp,
+                                &mut payload,
+                            );
+                        }
+                        let old = almanac_compress::delta::decode(&ref_bytes, &payload)
+                            .map_err(|_| AlmanacError::DecodeFailed("delta payload corrupt"))?;
+                        Ok(PageData::bytes(old))
+                    }
+                }
+            }
+        }
+    }
+
+    /// The newest version of `lpa` written at or before `at` — the state of
+    /// the page "as of" that time.
+    pub fn version_as_of(&self, lpa: Lpa, at: Nanos) -> Option<VersionInfo> {
+        self.version_chain(lpa)
+            .into_iter()
+            .find(|v| v.timestamp <= at)
+    }
+
+    /// All versions written inside `[from, to]`, newest first.
+    pub fn versions_in(&self, lpa: Lpa, from: Nanos, to: Nanos) -> Vec<VersionInfo> {
+        self.version_chain(lpa)
+            .into_iter()
+            .filter(|v| v.timestamp >= from && v.timestamp <= to)
+            .collect()
+    }
+
+    /// True when the LPA currently maps to valid data.
+    pub fn is_mapped(&self, lpa: Lpa) -> bool {
+        matches!(self.amt.get(lpa), AmtEntry::Mapped(_))
+    }
+
+    /// The array geometry (for host-side query cost accounting).
+    pub fn geometry(&self) -> &almanac_flash::Geometry {
+        &self.config.geometry
+    }
+}

@@ -1,0 +1,500 @@
+//! Behavioural tests of the TimeSSD FTL: retention, compression, GC,
+//! expiry, rollback, and the time-travel index.
+
+use almanac_bloom::ChainConfig;
+use almanac_flash::{Geometry, Lpa, PageData, DAY_NS, MS_NS, SEC_NS};
+
+use crate::config::SsdConfig;
+use crate::device::SsdDevice;
+use crate::error::AlmanacError;
+use crate::timessd::query::VersionLocation;
+use crate::timessd::TimeSsd;
+
+fn small_cfg() -> SsdConfig {
+    SsdConfig::new(Geometry::small_test())
+}
+
+fn medium_cfg() -> SsdConfig {
+    // Small bloom segments so retention machinery is exercised quickly.
+    SsdConfig::new(Geometry::medium_test()).with_bloom(ChainConfig {
+        bits_per_filter: 1 << 13,
+        hashes: 4,
+        capacity: 512,
+    })
+}
+
+fn synthetic(lpa: u64, version: u64) -> PageData {
+    PageData::Synthetic { seed: lpa, version }
+}
+
+#[test]
+fn write_read_roundtrip() {
+    let mut ssd = TimeSsd::new(small_cfg());
+    let data = PageData::bytes(vec![0xAB; 16]);
+    ssd.write(Lpa(4), data.clone(), 0).unwrap();
+    let (read, _) = ssd.read(Lpa(4), 1_000).unwrap();
+    assert_eq!(read, data);
+}
+
+#[test]
+fn version_chain_newest_first_with_head() {
+    let mut ssd = TimeSsd::new(small_cfg());
+    for v in 1..=4u64 {
+        ssd.write(Lpa(2), synthetic(2, v), v * SEC_NS).unwrap();
+    }
+    let chain = ssd.version_chain(Lpa(2));
+    assert_eq!(chain.len(), 4);
+    assert!(chain[0].is_head);
+    assert!(chain.windows(2).all(|w| w[0].timestamp > w[1].timestamp));
+}
+
+#[test]
+fn version_content_reconstructs_every_byte_version() {
+    let mut ssd = TimeSsd::new(small_cfg());
+    let contents: Vec<PageData> = (0..5u8).map(|i| PageData::bytes(vec![i; 64])).collect();
+    for (i, c) in contents.iter().enumerate() {
+        ssd.write(Lpa(1), c.clone(), (i as u64 + 1) * SEC_NS)
+            .unwrap();
+    }
+    let chain = ssd.version_chain(Lpa(1));
+    assert_eq!(chain.len(), 5);
+    // Chain is newest first; contents[4] is the newest.
+    for (idx, v) in chain.iter().enumerate() {
+        let expect = &contents[4 - idx];
+        assert_eq!(&ssd.version_content(Lpa(1), v.timestamp).unwrap(), expect);
+    }
+}
+
+#[test]
+fn version_as_of_picks_state_at_time() {
+    let mut ssd = TimeSsd::new(small_cfg());
+    let t1 = ssd.write(Lpa(0), synthetic(0, 1), 10 * SEC_NS).unwrap();
+    let _t2 = ssd.write(Lpa(0), synthetic(0, 2), 20 * SEC_NS).unwrap();
+    let v = ssd.version_as_of(Lpa(0), 15 * SEC_NS).unwrap();
+    assert_eq!(v.timestamp, t1.start);
+    assert_eq!(
+        ssd.version_content(Lpa(0), v.timestamp).unwrap(),
+        synthetic(0, 1)
+    );
+    assert!(ssd.version_as_of(Lpa(0), SEC_NS).is_none());
+}
+
+#[test]
+fn trimmed_data_stays_recoverable() {
+    let mut ssd = TimeSsd::new(small_cfg());
+    let secret = PageData::bytes(b"do not lose me".to_vec());
+    let c = ssd.write(Lpa(9), secret.clone(), SEC_NS).unwrap();
+    ssd.trim(Lpa(9), 2 * SEC_NS).unwrap();
+    let (now_data, _) = ssd.read(Lpa(9), 3 * SEC_NS).unwrap();
+    assert_eq!(now_data, PageData::Zeros);
+    // History still reachable.
+    let chain = ssd.version_chain(Lpa(9));
+    assert_eq!(chain.len(), 1);
+    assert_eq!(ssd.version_content(Lpa(9), c.start).unwrap(), secret);
+}
+
+#[test]
+fn overwrite_after_trim_links_chain() {
+    let mut ssd = TimeSsd::new(small_cfg());
+    let c1 = ssd.write(Lpa(5), synthetic(5, 1), SEC_NS).unwrap();
+    ssd.trim(Lpa(5), 2 * SEC_NS).unwrap();
+    ssd.write(Lpa(5), synthetic(5, 2), 3 * SEC_NS).unwrap();
+    let chain = ssd.version_chain(Lpa(5));
+    assert_eq!(chain.len(), 2);
+    assert_eq!(
+        ssd.version_content(Lpa(5), c1.start).unwrap(),
+        synthetic(5, 1)
+    );
+}
+
+/// Churn a device hard enough that GC must compress retained versions.
+fn churn(ssd: &mut TimeSsd, rounds: u64, step: u64) -> u64 {
+    // Hammer a working set of a third of the device so retained versions
+    // (compressed to ~20%) still fit alongside the valid data.
+    let set = ssd.exported_pages() / 3;
+    let mut now = SEC_NS;
+    for i in 0..rounds {
+        let lpa = Lpa(i % set);
+        let c = ssd.write(lpa, synthetic(lpa.0, i / set + 1), now).unwrap();
+        now = c.finish.max(now) + step;
+    }
+    now
+}
+
+#[test]
+fn gc_compresses_retained_versions_into_deltas() {
+    let mut ssd = TimeSsd::new(medium_cfg().with_min_retention(0));
+    churn(&mut ssd, 12_000, 100_000);
+    assert!(ssd.stats().gc_erases > 0, "GC never ran");
+    assert!(
+        ssd.stats().gc_compressions + ssd.stats().bg_compressions > 0,
+        "no version was ever delta-compressed"
+    );
+    assert!(ssd.stats().delta_programs > 0, "no delta page was written");
+}
+
+#[test]
+fn compressed_versions_remain_retrievable() {
+    let mut ssd = TimeSsd::new(medium_cfg());
+    let lpa = Lpa(7);
+    // Ten versions of our page, then churn everything else to force GC.
+    let mut stamps = Vec::new();
+    let mut now = SEC_NS;
+    for v in 1..=10u64 {
+        let c = ssd.write(lpa, synthetic(lpa.0, v), now).unwrap();
+        stamps.push(c.start);
+        now = c.finish + SEC_NS;
+    }
+    let set = ssd.exported_pages() / 3;
+    for i in 0..(set * 8) {
+        let l = Lpa(8 + (i % (set - 8)));
+        let c = ssd.write(l, synthetic(l.0, i + 1), now).unwrap();
+        now = c.finish + 50_000;
+    }
+    assert!(ssd.stats().gc_erases > 0);
+    // Every version of lpa 7 must still decode to the right content.
+    let chain = ssd.version_chain(lpa);
+    assert!(
+        chain.len() >= 8,
+        "history lost: only {} of 10 versions reachable",
+        chain.len()
+    );
+    let compressed = chain
+        .iter()
+        .filter(|v| !matches!(v.location, VersionLocation::DataPage(_)))
+        .count();
+    assert!(compressed > 0, "no version ended up in the delta chain");
+    for v in &chain {
+        let content = ssd.version_content(lpa, v.timestamp).unwrap();
+        let version_no = 1 + stamps.iter().position(|s| *s == v.timestamp).unwrap() as u64;
+        assert_eq!(content, synthetic(lpa.0, version_no));
+    }
+}
+
+#[test]
+fn equation_one_drops_filters_under_churn() {
+    let mut cfg = medium_cfg().with_min_retention(0);
+    cfg.n_fixed = 256;
+    let mut ssd = TimeSsd::new(cfg);
+    churn(&mut ssd, 20_000, 10_000);
+    assert!(
+        ssd.stats().filters_dropped > 0,
+        "retention manager never shortened the window"
+    );
+}
+
+#[test]
+fn expired_versions_disappear_from_chains() {
+    let mut cfg = medium_cfg().with_min_retention(0);
+    cfg.n_fixed = 256;
+    let mut ssd = TimeSsd::new(cfg);
+    let c = ssd.write(Lpa(0), synthetic(0, 1), SEC_NS).unwrap();
+    let first_ts = c.start;
+    churn(&mut ssd, 30_000, 10_000);
+    // The very first version was invalidated long ago; after heavy churn
+    // with dropped filters it should no longer be offered.
+    let chain = ssd.version_chain(Lpa(0));
+    assert!(ssd.stats().filters_dropped > 0);
+    assert!(
+        chain.iter().all(|v| v.timestamp != first_ts) || chain.len() < 30,
+        "ancient version still reachable after expiry"
+    );
+}
+
+#[test]
+fn min_retention_blocks_device_when_space_runs_out() {
+    // Huge minimum retention on a tiny device: junk writes must stall
+    // rather than silently destroying history (§3.4, §3.10).
+    let cfg = small_cfg().with_min_retention(100 * DAY_NS);
+    let mut ssd = TimeSsd::new(cfg);
+    let exported = ssd.exported_pages();
+    let mut stalled = false;
+    let mut now = SEC_NS;
+    for i in 0..(exported * 40) {
+        match ssd.write(Lpa(i % exported), synthetic(0, i), now) {
+            Ok(c) => now = c.finish + 1000,
+            Err(AlmanacError::DeviceStalled { .. }) => {
+                stalled = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(stalled, "device kept absorbing junk past its guarantee");
+}
+
+#[test]
+fn retention_window_grows_with_light_load() {
+    let mut ssd = TimeSsd::new(medium_cfg());
+    let mut now = SEC_NS;
+    for i in 0..200u64 {
+        let c = ssd.write(Lpa(i % 50), synthetic(i % 50, i), now).unwrap();
+        now = c.finish + DAY_NS / 100;
+    }
+    // Light workload: nothing dropped, window spans the whole history.
+    assert_eq!(ssd.stats().filters_dropped, 0);
+    assert!(ssd.retention_window(now) > DAY_NS);
+}
+
+#[test]
+fn background_compression_uses_idle_windows() {
+    let mut cfg = medium_cfg();
+    cfg.idle_threshold = 10 * MS_NS;
+    let mut ssd = TimeSsd::new(cfg);
+    let set = ssd.exported_pages() / 3;
+    let mut now = SEC_NS;
+    // Several passes over a third of the device create plenty of retained
+    // invalid pages, with long idle gaps between requests so the predictor
+    // clears its threshold.
+    for i in 0..(set * 6) {
+        let lpa = Lpa(i % set);
+        let c = ssd.write(lpa, synthetic(lpa.0, i), now).unwrap();
+        now = c.finish + 50 * MS_NS;
+    }
+    assert!(
+        ssd.stats().bg_compressions > 0,
+        "idle cycles were never used for compression"
+    );
+}
+
+#[test]
+fn rollback_style_write_preserves_history() {
+    let mut ssd = TimeSsd::new(small_cfg());
+    let v1 = PageData::bytes(b"version one".to_vec());
+    let v2 = PageData::bytes(b"version two".to_vec());
+    let c1 = ssd.write(Lpa(3), v1.clone(), SEC_NS).unwrap();
+    ssd.write(Lpa(3), v2.clone(), 2 * SEC_NS).unwrap();
+    // Roll back = read old version, write it back as a new update (§3.9).
+    let old = ssd.version_content(Lpa(3), c1.start).unwrap();
+    ssd.write(Lpa(3), old, 3 * SEC_NS).unwrap();
+    let (now_data, _) = ssd.read(Lpa(3), 4 * SEC_NS).unwrap();
+    assert_eq!(now_data, v1);
+    // All three versions (v1, v2, rollback-copy of v1) in the chain.
+    assert_eq!(ssd.version_chain(Lpa(3)).len(), 3);
+}
+
+#[test]
+fn write_amplification_is_reasonable() {
+    let mut ssd = TimeSsd::new(medium_cfg().with_min_retention(0));
+    churn(&mut ssd, 10_000, 100_000);
+    let wa = ssd.stats().write_amplification();
+    assert!(wa >= 1.0);
+    assert!(wa < 3.0, "write amplification exploded: {wa}");
+}
+
+#[test]
+fn timestamps_unique_for_same_arrival() {
+    let mut ssd = TimeSsd::new(small_cfg());
+    ssd.write(Lpa(0), synthetic(0, 1), 100).unwrap();
+    ssd.write(Lpa(0), synthetic(0, 2), 100).unwrap();
+    ssd.write(Lpa(0), synthetic(0, 3), 100).unwrap();
+    let chain = ssd.version_chain(Lpa(0));
+    assert_eq!(chain.len(), 3);
+    assert!(chain.windows(2).all(|w| w[0].timestamp > w[1].timestamp));
+}
+
+#[test]
+fn flush_buffers_persists_pending_deltas() {
+    let mut ssd = TimeSsd::new(medium_cfg());
+    churn(&mut ssd, 4_000, 50_000);
+    // Whatever is buffered should flush without error and stay readable.
+    ssd.flush_buffers(u64::MAX / 2).unwrap();
+    let chain = ssd.version_chain(Lpa(1));
+    for v in chain {
+        ssd.version_content(Lpa(1), v.timestamp).unwrap();
+    }
+}
+
+#[test]
+fn mixed_content_kinds_coexist() {
+    let mut ssd = TimeSsd::new(small_cfg());
+    ssd.write(Lpa(0), PageData::Zeros, SEC_NS).unwrap();
+    ssd.write(Lpa(0), PageData::bytes(vec![1, 2, 3]), 2 * SEC_NS)
+        .unwrap();
+    ssd.write(Lpa(0), synthetic(0, 3), 3 * SEC_NS).unwrap();
+    let chain = ssd.version_chain(Lpa(0));
+    assert_eq!(chain.len(), 3);
+    assert_eq!(
+        ssd.version_content(Lpa(0), chain[2].timestamp).unwrap(),
+        PageData::Zeros
+    );
+    assert_eq!(
+        ssd.version_content(Lpa(0), chain[1].timestamp).unwrap(),
+        PageData::bytes(vec![1, 2, 3])
+    );
+}
+
+#[test]
+fn stats_track_user_operations() {
+    let mut ssd = TimeSsd::new(small_cfg());
+    ssd.write(Lpa(0), PageData::Zeros, 0).unwrap();
+    ssd.read(Lpa(0), SEC_NS).unwrap();
+    ssd.trim(Lpa(0), 2 * SEC_NS).unwrap();
+    let s = ssd.stats();
+    assert_eq!((s.user_writes, s.user_reads, s.user_trims), (1, 1, 1));
+}
+
+#[test]
+fn retention_key_protects_compressed_history() {
+    // §3.10: encrypted retained data decodes only with the right key.
+    let cfg = medium_cfg().with_retention_key(0xDEAD_BEEF);
+    let mut ssd = TimeSsd::new(cfg);
+    let lpa = Lpa(3);
+    let mut now = SEC_NS;
+    for v in 0..6u8 {
+        let c = ssd.write(lpa, PageData::bytes(vec![v; 512]), now).unwrap();
+        now = c.finish + SEC_NS;
+    }
+    // Force compression of the retained versions.
+    let set = ssd.exported_pages() / 3;
+    for i in 0..(set * 6) {
+        let l = Lpa(8 + (i % (set - 8)));
+        let c = ssd.write(l, synthetic(l.0, i + 1), now).unwrap();
+        now = c.finish + 50_000;
+    }
+    let chain = ssd.version_chain(lpa);
+    let compressed: Vec<_> = chain
+        .iter()
+        .filter(|v| !matches!(v.location, VersionLocation::DataPage(_)))
+        .collect();
+    assert!(!compressed.is_empty(), "nothing was compressed");
+    for v in &compressed {
+        // Owner (device key) decodes correctly.
+        let content = ssd.version_content(lpa, v.timestamp).unwrap();
+        assert!(matches!(content, PageData::Bytes(_)));
+        // Adversary with the wrong key gets garbage or a decode failure.
+        let stolen = ssd.version_content_with_key(lpa, v.timestamp, Some(0xBAD));
+        match stolen {
+            Err(_) => {}
+            Ok(data) => assert_ne!(data, content, "wrong key decoded plaintext"),
+        }
+        // No key at all fails the same way.
+        let keyless = ssd.version_content_with_key(lpa, v.timestamp, None);
+        match keyless {
+            Err(_) => {}
+            Ok(data) => assert_ne!(data, content, "keyless read decoded plaintext"),
+        }
+    }
+}
+
+#[test]
+fn amt_demand_cache_charges_faults() {
+    let mut cfg = small_cfg();
+    cfg.amt_cache_pages = Some(2);
+    let mut ssd = TimeSsd::new(cfg);
+    // Touch addresses spread across many translation pages.
+    let stride = (small_cfg().geometry.page_size / 8) as u64; // mappings/page
+    let mut now = SEC_NS;
+    for i in 0..8u64 {
+        let lpa = Lpa((i * stride) % ssd.exported_pages());
+        let c = ssd.write(lpa, synthetic(lpa.0, i), now).unwrap();
+        now = c.finish + SEC_NS;
+    }
+    let (faults, _) = ssd.map_cache_traffic();
+    assert!(faults > 0, "no translation faults with a 2-page cache");
+
+    // A fully-resident table never faults.
+    let mut ssd = TimeSsd::new(small_cfg());
+    let mut now = SEC_NS;
+    for i in 0..8u64 {
+        let lpa = Lpa((i * stride) % ssd.exported_pages());
+        let c = ssd.write(lpa, synthetic(lpa.0, i), now).unwrap();
+        now = c.finish + SEC_NS;
+    }
+    assert_eq!(ssd.map_cache_traffic().0, 0);
+}
+
+#[test]
+fn wear_leveling_bounds_erase_spread() {
+    let mut cfg = medium_cfg().with_min_retention(0);
+    cfg.wl_spread_threshold = 8;
+    cfg.n_fixed = 256;
+    let mut ssd = TimeSsd::new(cfg);
+    // Write a cold region once, then hammer a tiny hot set.
+    let mut now = SEC_NS;
+    let exported = ssd.exported_pages();
+    for l in 0..exported {
+        let c = ssd.write(Lpa(l), synthetic(l, 0), now).unwrap();
+        now = c.finish + 1000;
+    }
+    for i in 0..(exported * 5) {
+        let lpa = Lpa(i % 64);
+        let c = ssd.write(lpa, synthetic(lpa.0, i + 1), now).unwrap();
+        now = c.finish + 1000;
+    }
+    assert!(ssd.stats().wl_swaps > 0, "wear leveling never ran");
+    // The leveler is rate-limited (one swap per 64 erases), so an extreme
+    // 64-page hot set still shows a spread — it just must stay sane and the
+    // leveler must not burn endurance itself (≈1 erase per 17 user writes
+    // here; the unlimited version burned one erase per write).
+    let total_erases = ssd.flash().stats().erases;
+    assert!(
+        total_erases < ssd.stats().user_writes / 4,
+        "leveler burned {} erases for {} writes",
+        total_erases,
+        ssd.stats().user_writes
+    );
+}
+
+#[test]
+fn disabled_wear_leveling_lets_spread_grow() {
+    let mut with_wl = medium_cfg().with_min_retention(0);
+    with_wl.wl_spread_threshold = 8;
+    with_wl.n_fixed = 256;
+    let mut without_wl = with_wl.clone();
+    without_wl.wear_leveling = false;
+    let run = |cfg: crate::config::SsdConfig| {
+        let mut ssd = TimeSsd::new(cfg);
+        let mut now = SEC_NS;
+        let exported = ssd.exported_pages();
+        for l in 0..exported {
+            let c = ssd.write(Lpa(l), synthetic(l, 0), now).unwrap();
+            now = c.finish + 1000;
+        }
+        for i in 0..(exported * 5) {
+            let lpa = Lpa(i % 64);
+            let c = ssd.write(lpa, synthetic(lpa.0, i + 1), now).unwrap();
+            now = c.finish + 1000;
+        }
+        ssd.flash().wear_spread()
+    };
+    assert!(run(without_wl) >= run(with_wl));
+}
+
+#[test]
+fn consistency_holds_after_trim_heavy_churn() {
+    let mut cfg = medium_cfg().with_min_retention(0);
+    cfg.n_fixed = 256;
+    let mut ssd = TimeSsd::new(cfg);
+    let set = ssd.exported_pages() / 4;
+    let mut now = SEC_NS;
+    for i in 0..8_000u64 {
+        let lpa = Lpa(i % set);
+        if i % 7 == 3 {
+            let c = ssd.trim(lpa, now).unwrap();
+            now = c.finish + 10_000;
+        } else {
+            let c = ssd.write(lpa, synthetic(lpa.0, i), now).unwrap();
+            now = c.finish + 10_000;
+        }
+    }
+    let audit = ssd.check_consistency();
+    assert!(
+        audit.is_clean(),
+        "{:?}",
+        &audit.violations[..audit.violations.len().min(5)]
+    );
+}
+
+#[test]
+fn stats_programs_account_for_flash_traffic() {
+    let mut ssd = TimeSsd::new(medium_cfg().with_min_retention(0));
+    churn(&mut ssd, 8_000, 50_000);
+    let s = *ssd.stats();
+    let flash_programs = ssd.flash().stats().programs;
+    let accounted = s.user_programs + s.gc_programs + s.delta_programs + s.wl_programs;
+    assert_eq!(
+        accounted, flash_programs,
+        "stats miss some flash programs: accounted {accounted} vs flash {flash_programs}"
+    );
+}

@@ -1,0 +1,132 @@
+//! Property-based model checking of the TimeSSD FTL.
+//!
+//! A reference model (a per-LPA list of `(timestamp, content)` pairs) is
+//! maintained alongside the device under random operation sequences; the
+//! device must agree with the model on current reads, full version chains,
+//! and point-in-time content. Runs without GC pressure so nothing expires —
+//! every version the model remembers must be retrievable.
+
+use std::collections::HashMap;
+
+use almanac_core::{SsdConfig, SsdDevice, TimeSsd};
+use almanac_flash::{Geometry, Lpa, Nanos, PageData, SEC_NS};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { lpa: u64, tag: u64 },
+    Trim { lpa: u64 },
+    Read { lpa: u64 },
+}
+
+fn op_strategy(lpa_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..lpa_space, any::<u64>()).prop_map(|(lpa, tag)| Op::Write { lpa, tag }),
+        1 => (0..lpa_space).prop_map(|lpa| Op::Trim { lpa }),
+        3 => (0..lpa_space).prop_map(|lpa| Op::Read { lpa }),
+    ]
+}
+
+#[derive(Default)]
+struct Model {
+    /// Per-LPA history, oldest first: (write timestamp, content).
+    history: HashMap<u64, Vec<(Nanos, PageData)>>,
+    /// Currently mapped?
+    mapped: HashMap<u64, bool>,
+}
+
+impl Model {
+    fn latest(&self, lpa: u64) -> PageData {
+        if self.mapped.get(&lpa).copied().unwrap_or(false) {
+            self.history
+                .get(&lpa)
+                .and_then(|h| h.last())
+                .map(|(_, d)| d.clone())
+                .unwrap_or(PageData::Zeros)
+        } else {
+            PageData::Zeros
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn device_matches_reference_model(ops in proptest::collection::vec(op_strategy(32), 1..200)) {
+        let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+        let mut model = Model::default();
+        let mut now = SEC_NS;
+
+        for op in &ops {
+            match op {
+                Op::Write { lpa, tag } => {
+                    let data = PageData::Synthetic { seed: *lpa, version: *tag };
+                    let c = ssd.write(Lpa(*lpa), data.clone(), now).unwrap();
+                    model.history.entry(*lpa).or_default().push((c.start, data));
+                    model.mapped.insert(*lpa, true);
+                    now = c.finish + SEC_NS;
+                }
+                Op::Trim { lpa } => {
+                    let c = ssd.trim(Lpa(*lpa), now).unwrap();
+                    model.mapped.insert(*lpa, false);
+                    now = c.finish + SEC_NS;
+                }
+                Op::Read { lpa } => {
+                    let (data, c) = ssd.read(Lpa(*lpa), now).unwrap();
+                    prop_assert_eq!(data, model.latest(*lpa));
+                    now = c.finish + SEC_NS;
+                }
+            }
+        }
+
+        // The device's own fsck must find nothing wrong.
+        let audit = ssd.check_consistency();
+        prop_assert!(audit.is_clean(), "consistency: {:?}", audit.violations);
+
+        // Final audit: every version the model remembers is retrievable with
+        // the right content, in the right order.
+        for (lpa, history) in &model.history {
+            let chain = ssd.version_chain(Lpa(*lpa));
+            prop_assert_eq!(
+                chain.len(),
+                history.len(),
+                "lpa {} expected {} versions, chain has {}",
+                lpa, history.len(), chain.len()
+            );
+            // Chain is newest-first; history oldest-first.
+            for (v, (ts, data)) in chain.iter().zip(history.iter().rev()) {
+                prop_assert_eq!(v.timestamp, *ts);
+                let content = ssd.version_content(Lpa(*lpa), *ts).unwrap();
+                prop_assert_eq!(&content, data);
+            }
+            // Timestamps strictly decreasing.
+            prop_assert!(chain.windows(2).all(|w| w[0].timestamp > w[1].timestamp));
+            // as-of semantics agree with the model.
+            if let Some((mid_ts, mid_data)) = history.get(history.len() / 2) {
+                let v = ssd.version_as_of(Lpa(*lpa), *mid_ts).unwrap();
+                prop_assert_eq!(v.timestamp, *mid_ts);
+                let content = ssd.version_content(Lpa(*lpa), v.timestamp).unwrap();
+                prop_assert_eq!(&content, mid_data);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_content_survives_random_overwrites(
+        pages in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 2..12)
+    ) {
+        let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+        let mut now = SEC_NS;
+        let mut stamps = Vec::new();
+        for p in &pages {
+            let c = ssd.write(Lpa(0), PageData::bytes(p.clone()), now).unwrap();
+            stamps.push(c.start);
+            now = c.finish + SEC_NS;
+        }
+        for (ts, p) in stamps.iter().zip(&pages) {
+            let content = ssd.version_content(Lpa(0), *ts).unwrap();
+            prop_assert_eq!(content, PageData::bytes(p.clone()));
+        }
+    }
+}

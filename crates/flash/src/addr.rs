@@ -1,0 +1,86 @@
+//! Address and time primitives shared by the whole workspace.
+
+use std::fmt;
+
+/// Virtual time in nanoseconds since simulation start.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const US_NS: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MS_NS: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SEC_NS: Nanos = 1_000_000_000;
+/// One minute in [`Nanos`].
+pub const MINUTE_NS: Nanos = 60 * SEC_NS;
+/// One hour in [`Nanos`].
+pub const HOUR_NS: Nanos = 60 * MINUTE_NS;
+/// One day in [`Nanos`].
+pub const DAY_NS: Nanos = 24 * HOUR_NS;
+
+/// Logical page address: the host-visible block-device page number.
+///
+/// # Examples
+///
+/// ```
+/// use almanac_flash::Lpa;
+/// let lpa = Lpa(42);
+/// assert_eq!(lpa.0, 42);
+/// assert_eq!(format!("{lpa}"), "L42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lpa(pub u64);
+
+impl fmt::Display for Lpa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Physical page address: a linear index over every page in the flash array.
+///
+/// The mapping between a `Ppa` and its (channel, chip, plane, block, page)
+/// coordinates is defined by [`crate::Geometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ppa(pub u64);
+
+impl fmt::Display for Ppa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Physical block address: a linear index over every block in the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u64);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Lpa(3).to_string(), "L3");
+        assert_eq!(Ppa(9).to_string(), "P9");
+        assert_eq!(BlockId(1).to_string(), "B1");
+    }
+
+    #[test]
+    fn time_constants_compose() {
+        assert_eq!(SEC_NS, 1_000 * MS_NS);
+        assert_eq!(MS_NS, 1_000 * US_NS);
+        assert_eq!(DAY_NS, 24 * 60 * 60 * SEC_NS);
+    }
+
+    #[test]
+    fn addresses_order_naturally() {
+        assert!(Lpa(1) < Lpa(2));
+        assert!(Ppa(5) > Ppa(4));
+    }
+}

@@ -1,0 +1,437 @@
+//! The flash array: blocks, pages, and the per-chip timing model.
+
+use crate::addr::{BlockId, Nanos, Ppa};
+use crate::error::{FlashError, FlashResult};
+use crate::geometry::Geometry;
+use crate::latency::LatencyConfig;
+use crate::page::{Oob, PageData};
+use crate::stats::FlashStats;
+
+/// Lifecycle state of a physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Erased and available for programming.
+    Free,
+    /// Programmed with data.
+    Written,
+}
+
+/// Lifecycle state of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// All pages free.
+    Erased,
+    /// At least one page programmed.
+    Open,
+}
+
+/// One physical page.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Free or written.
+    pub state: PageState,
+    /// Stored payload (meaningful only when written).
+    pub data: PageData,
+    /// Out-of-band metadata (meaningful only when written).
+    pub oob: Option<Oob>,
+}
+
+impl Page {
+    fn free() -> Self {
+        Page {
+            state: PageState::Free,
+            data: PageData::Zeros,
+            oob: None,
+        }
+    }
+}
+
+/// One flash block: a run of pages that must be programmed sequentially and
+/// erased as a unit.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Pages of the block.
+    pub pages: Vec<Page>,
+    /// Next page offset the chip will accept a program for.
+    pub write_ptr: u32,
+    /// Number of erases this block has endured.
+    pub erase_count: u32,
+}
+
+impl Block {
+    fn new(pages_per_block: u32) -> Self {
+        Block {
+            pages: (0..pages_per_block).map(|_| Page::free()).collect(),
+            write_ptr: 0,
+            erase_count: 0,
+        }
+    }
+
+    /// Erased or open.
+    pub fn state(&self) -> BlockState {
+        if self.write_ptr == 0 {
+            BlockState::Erased
+        } else {
+            BlockState::Open
+        }
+    }
+
+    /// True when every page has been programmed.
+    pub fn is_full(&self) -> bool {
+        self.write_ptr as usize == self.pages.len()
+    }
+}
+
+/// The simulated flash array.
+///
+/// All operations take the current virtual time `now` and return the
+/// operation's completion time, computed against the owning chip's
+/// `busy-until` horizon — two operations on different chips overlap, two on
+/// the same chip serialise.
+///
+/// # Examples
+///
+/// ```
+/// use almanac_flash::{FlashArray, Geometry, LatencyConfig, PageData, Oob, Lpa};
+/// let geo = Geometry::small_test();
+/// let mut flash = FlashArray::new(geo, LatencyConfig::default());
+/// let ppa = geo.ppa(0, 0);
+/// let t1 = flash.program(ppa, PageData::Zeros, Oob::new(Lpa(0), None, 0), 0).unwrap();
+/// assert_eq!(t1, flash.latency().program_total());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashArray {
+    geometry: Geometry,
+    latency: LatencyConfig,
+    blocks: Vec<Block>,
+    chip_busy: Vec<Nanos>,
+    stats: FlashStats,
+    /// Erase endurance per block; `None` disables wear-out failures.
+    endurance: Option<u32>,
+}
+
+impl FlashArray {
+    /// Creates a fully-erased array.
+    pub fn new(geometry: Geometry, latency: LatencyConfig) -> Self {
+        let blocks = (0..geometry.total_blocks())
+            .map(|_| Block::new(geometry.pages_per_block))
+            .collect();
+        FlashArray {
+            geometry,
+            latency,
+            blocks,
+            chip_busy: vec![0; geometry.total_chips() as usize],
+            stats: FlashStats::default(),
+            endurance: None,
+        }
+    }
+
+    /// Enables wear-out: erasing a block more than `cycles` times fails.
+    pub fn with_endurance(mut self, cycles: u32) -> Self {
+        self.endurance = Some(cycles);
+        self
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The latency model.
+    pub fn latency(&self) -> &LatencyConfig {
+        &self.latency
+    }
+
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    fn check_ppa(&self, ppa: Ppa) -> FlashResult<()> {
+        if self.geometry.contains_ppa(ppa) {
+            Ok(())
+        } else {
+            Err(FlashError::BadPpa(ppa))
+        }
+    }
+
+    fn occupy_chip(&mut self, chip: u32, now: Nanos, cost: Nanos) -> Nanos {
+        let busy = &mut self.chip_busy[chip as usize];
+        let start = (*busy).max(now);
+        let finish = start + cost;
+        *busy = finish;
+        finish
+    }
+
+    /// Reads a programmed page, returning data, OOB, and completion time.
+    pub fn read(&mut self, ppa: Ppa, now: Nanos) -> FlashResult<(PageData, Oob, Nanos)> {
+        self.check_ppa(ppa)?;
+        let block = self.geometry.block_of(ppa);
+        let off = self.geometry.page_offset(ppa) as usize;
+        let page = &self.blocks[block.0 as usize].pages[off];
+        if page.state == PageState::Free {
+            return Err(FlashError::ReadFree(ppa));
+        }
+        let data = page.data.clone();
+        let oob = page.oob.expect("written page always has OOB");
+        let chip = self.geometry.chip_of_ppa(ppa);
+        let finish = self.occupy_chip(chip, now, self.latency.read_total());
+        self.stats.reads += 1;
+        Ok((data, oob, finish))
+    }
+
+    /// Inspects a page without advancing time or counters.
+    ///
+    /// Used by host-side tooling to validate simulator state in tests; the
+    /// FTL itself always pays for its reads.
+    pub fn peek(&self, ppa: Ppa) -> FlashResult<(&PageData, &Oob)> {
+        self.check_ppa(ppa)?;
+        let block = self.geometry.block_of(ppa);
+        let off = self.geometry.page_offset(ppa) as usize;
+        let page = &self.blocks[block.0 as usize].pages[off];
+        if page.state == PageState::Free {
+            return Err(FlashError::ReadFree(ppa));
+        }
+        Ok((&page.data, page.oob.as_ref().expect("written page has OOB")))
+    }
+
+    /// Returns the state of a page without touching timing.
+    pub fn page_state(&self, ppa: Ppa) -> FlashResult<PageState> {
+        self.check_ppa(ppa)?;
+        let block = self.geometry.block_of(ppa);
+        let off = self.geometry.page_offset(ppa) as usize;
+        Ok(self.blocks[block.0 as usize].pages[off].state)
+    }
+
+    /// Programs a free page (sequential within its block).
+    pub fn program(
+        &mut self,
+        ppa: Ppa,
+        data: PageData,
+        oob: Oob,
+        now: Nanos,
+    ) -> FlashResult<Nanos> {
+        self.check_ppa(ppa)?;
+        let block_id = self.geometry.block_of(ppa);
+        let off = self.geometry.page_offset(ppa);
+        let block = &mut self.blocks[block_id.0 as usize];
+        if block.pages[off as usize].state == PageState::Written {
+            return Err(FlashError::ProgramWritten(ppa));
+        }
+        if off != block.write_ptr {
+            return Err(FlashError::NonSequentialProgram {
+                ppa,
+                expected_offset: block.write_ptr,
+            });
+        }
+        block.pages[off as usize] = Page {
+            state: PageState::Written,
+            data,
+            oob: Some(oob),
+        };
+        block.write_ptr += 1;
+        let chip = self.geometry.chip_of_ppa(ppa);
+        let finish = self.occupy_chip(chip, now, self.latency.program_total());
+        self.stats.programs += 1;
+        Ok(finish)
+    }
+
+    /// Erases a whole block, resetting every page to free.
+    pub fn erase(&mut self, block_id: BlockId, now: Nanos) -> FlashResult<Nanos> {
+        if !self.geometry.contains_block(block_id) {
+            return Err(FlashError::BadBlock(block_id));
+        }
+        let block = &mut self.blocks[block_id.0 as usize];
+        if let Some(limit) = self.endurance {
+            if block.erase_count >= limit {
+                return Err(FlashError::WornOut(block_id));
+            }
+        }
+        for page in &mut block.pages {
+            *page = Page::free();
+        }
+        block.write_ptr = 0;
+        block.erase_count += 1;
+        let chip = self.geometry.chip_of_block(block_id);
+        let finish = self.occupy_chip(chip, now, self.latency.erase_ns);
+        self.stats.erases += 1;
+        Ok(finish)
+    }
+
+    /// Erase count of a block.
+    pub fn erase_count(&self, block_id: BlockId) -> FlashResult<u32> {
+        if !self.geometry.contains_block(block_id) {
+            return Err(FlashError::BadBlock(block_id));
+        }
+        Ok(self.blocks[block_id.0 as usize].erase_count)
+    }
+
+    /// Immutable view of a block.
+    pub fn block(&self, block_id: BlockId) -> FlashResult<&Block> {
+        if !self.geometry.contains_block(block_id) {
+            return Err(FlashError::BadBlock(block_id));
+        }
+        Ok(&self.blocks[block_id.0 as usize])
+    }
+
+    /// The chip `busy-until` horizon, for latency accounting by upper layers.
+    pub fn chip_busy_until(&self, chip: u32) -> Nanos {
+        self.chip_busy[chip as usize]
+    }
+
+    /// The maximum busy horizon over all chips.
+    pub fn max_busy_until(&self) -> Nanos {
+        self.chip_busy.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Spread (max - min) of erase counts across all blocks — the wear
+    /// imbalance metric used by wear-leveling tests.
+    pub fn wear_spread(&self) -> u32 {
+        let min = self.blocks.iter().map(|b| b.erase_count).min().unwrap_or(0);
+        let max = self.blocks.iter().map(|b| b.erase_count).max().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Lpa;
+
+    fn fixture() -> FlashArray {
+        FlashArray::new(Geometry::small_test(), LatencyConfig::default())
+    }
+
+    fn oob(lpa: u64) -> Oob {
+        Oob::new(Lpa(lpa), None, 0)
+    }
+
+    #[test]
+    fn program_then_read_roundtrip() {
+        let mut f = fixture();
+        let ppa = f.geometry().ppa(1, 0);
+        f.program(ppa, PageData::bytes(vec![7; 10]), oob(3), 0)
+            .unwrap();
+        let (data, meta, _) = f.read(ppa, 0).unwrap();
+        assert_eq!(data, PageData::bytes(vec![7; 10]));
+        assert_eq!(meta.lpa, Lpa(3));
+    }
+
+    #[test]
+    fn program_written_page_fails() {
+        let mut f = fixture();
+        let ppa = f.geometry().ppa(0, 0);
+        f.program(ppa, PageData::Zeros, oob(0), 0).unwrap();
+        assert_eq!(
+            f.program(ppa, PageData::Zeros, oob(0), 0),
+            Err(FlashError::ProgramWritten(ppa))
+        );
+    }
+
+    #[test]
+    fn out_of_order_program_fails() {
+        let mut f = fixture();
+        let ppa = f.geometry().ppa(0, 2);
+        let err = f.program(ppa, PageData::Zeros, oob(0), 0).unwrap_err();
+        assert_eq!(
+            err,
+            FlashError::NonSequentialProgram {
+                ppa,
+                expected_offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn read_free_page_fails() {
+        let mut f = fixture();
+        let ppa = f.geometry().ppa(0, 0);
+        assert_eq!(f.read(ppa, 0), Err(FlashError::ReadFree(ppa)));
+    }
+
+    #[test]
+    fn erase_resets_block() {
+        let mut f = fixture();
+        let g = *f.geometry();
+        for off in 0..g.pages_per_block {
+            f.program(g.ppa(0, off), PageData::Zeros, oob(off as u64), 0)
+                .unwrap();
+        }
+        assert!(f.block(BlockId(0)).unwrap().is_full());
+        f.erase(BlockId(0), 0).unwrap();
+        let b = f.block(BlockId(0)).unwrap();
+        assert_eq!(b.state(), BlockState::Erased);
+        assert_eq!(b.erase_count, 1);
+        // Programming from offset 0 works again.
+        f.program(g.ppa(0, 0), PageData::Zeros, oob(0), 0).unwrap();
+    }
+
+    #[test]
+    fn same_chip_operations_serialise() {
+        let mut f = fixture();
+        let g = *f.geometry();
+        // Blocks 0 and 1 are on channel 0 (same chip) in small_test.
+        let t1 = f.program(g.ppa(0, 0), PageData::Zeros, oob(0), 0).unwrap();
+        let t2 = f.program(g.ppa(1, 0), PageData::Zeros, oob(1), 0).unwrap();
+        assert_eq!(t2, t1 + f.latency().program_total());
+    }
+
+    #[test]
+    fn different_chip_operations_overlap() {
+        let mut f = fixture();
+        let g = *f.geometry();
+        // Block 0 is chip 0; block 8 is chip 1 in small_test geometry.
+        let t1 = f.program(g.ppa(0, 0), PageData::Zeros, oob(0), 0).unwrap();
+        let t2 = f.program(g.ppa(8, 0), PageData::Zeros, oob(1), 0).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn endurance_limit_enforced() {
+        let mut f =
+            FlashArray::new(Geometry::small_test(), LatencyConfig::default()).with_endurance(2);
+        f.erase(BlockId(0), 0).unwrap();
+        f.erase(BlockId(0), 0).unwrap();
+        assert_eq!(f.erase(BlockId(0), 0), Err(FlashError::WornOut(BlockId(0))));
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut f = fixture();
+        let g = *f.geometry();
+        f.program(g.ppa(0, 0), PageData::Zeros, oob(0), 0).unwrap();
+        f.read(g.ppa(0, 0), 0).unwrap();
+        f.erase(BlockId(1), 0).unwrap();
+        assert_eq!(
+            *f.stats(),
+            FlashStats {
+                reads: 1,
+                programs: 1,
+                erases: 1
+            }
+        );
+    }
+
+    #[test]
+    fn peek_does_not_advance_time_or_stats() {
+        let mut f = fixture();
+        let g = *f.geometry();
+        let ppa = g.ppa(0, 0);
+        f.program(ppa, PageData::Zeros, oob(0), 0).unwrap();
+        let before = *f.stats();
+        let busy = f.chip_busy_until(0);
+        let _ = f.peek(ppa).unwrap();
+        assert_eq!(*f.stats(), before);
+        assert_eq!(f.chip_busy_until(0), busy);
+    }
+
+    #[test]
+    fn wear_spread_tracks_imbalance() {
+        let mut f = fixture();
+        assert_eq!(f.wear_spread(), 0);
+        f.erase(BlockId(0), 0).unwrap();
+        f.erase(BlockId(0), 0).unwrap();
+        f.erase(BlockId(1), 0).unwrap();
+        assert_eq!(f.wear_spread(), 2);
+    }
+}

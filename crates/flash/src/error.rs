@@ -1,0 +1,73 @@
+//! Flash simulator error types.
+
+use std::fmt;
+
+use crate::addr::{BlockId, Ppa};
+
+/// Errors raised by the flash array simulator.
+///
+/// These model the hard physical constraints of NAND: you cannot program a
+/// written page, cannot program pages out of order within a block, and cannot
+/// read a page that was never programmed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// The physical page address does not exist in this geometry.
+    BadPpa(Ppa),
+    /// The block address does not exist in this geometry.
+    BadBlock(BlockId),
+    /// Attempted to program a page that is not free.
+    ProgramWritten(Ppa),
+    /// Attempted to program pages of a block out of sequential order.
+    NonSequentialProgram {
+        /// The offending page.
+        ppa: Ppa,
+        /// The page offset the block expected next.
+        expected_offset: u32,
+    },
+    /// Attempted to read a page that has never been programmed.
+    ReadFree(Ppa),
+    /// The block exceeded its erase endurance budget.
+    WornOut(BlockId),
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::BadPpa(p) => write!(f, "physical page {p} out of range"),
+            FlashError::BadBlock(b) => write!(f, "block {b} out of range"),
+            FlashError::ProgramWritten(p) => {
+                write!(f, "program to non-free page {p} (erase required)")
+            }
+            FlashError::NonSequentialProgram {
+                ppa,
+                expected_offset,
+            } => write!(
+                f,
+                "non-sequential program to {ppa}; block expected offset {expected_offset}"
+            ),
+            FlashError::ReadFree(p) => write!(f, "read of free (unprogrammed) page {p}"),
+            FlashError::WornOut(b) => write!(f, "block {b} exceeded erase endurance"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+/// Result alias for flash operations.
+pub type FlashResult<T> = Result<T, FlashError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_mention_addresses() {
+        let e = FlashError::ProgramWritten(Ppa(12));
+        assert!(e.to_string().contains("P12"));
+        let e = FlashError::NonSequentialProgram {
+            ppa: Ppa(3),
+            expected_offset: 1,
+        };
+        assert!(e.to_string().contains("offset 1"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Flash operation latency model.
+
+use crate::addr::{Nanos, MS_NS, US_NS};
+
+/// Latency (cost) constants for flash and firmware operations.
+///
+/// Defaults model the MLC-era flash of the paper's Cosmos+ OpenSSD board:
+/// ~50 µs page read, ~600 µs page program, ~3 ms block erase, plus a bus
+/// transfer cost per page and firmware-side delta (de)compression costs used
+/// by Equation 1 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use almanac_flash::LatencyConfig;
+/// let lat = LatencyConfig::default();
+/// assert!(lat.erase_ns > lat.program_ns && lat.program_ns > lat.read_ns);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// Page read latency (`C_read` in Equation 1).
+    pub read_ns: Nanos,
+    /// Page program latency (`C_write` in Equation 1).
+    pub program_ns: Nanos,
+    /// Block erase latency (`C_erase` in Equation 1).
+    pub erase_ns: Nanos,
+    /// Bus transfer cost for one page between controller and chip.
+    pub transfer_ns: Nanos,
+    /// Firmware cost of delta-compressing one page (`C_delta` in Equation 1).
+    pub compress_ns: Nanos,
+    /// Firmware cost of decompressing one delta.
+    pub decompress_ns: Nanos,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            read_ns: 50 * US_NS,
+            program_ns: 600 * US_NS,
+            erase_ns: 3 * MS_NS,
+            transfer_ns: 10 * US_NS,
+            compress_ns: 40 * US_NS,
+            decompress_ns: 30 * US_NS,
+        }
+    }
+}
+
+impl LatencyConfig {
+    /// Total cost of a page read served to the host (cell read + transfer).
+    pub fn read_total(&self) -> Nanos {
+        self.read_ns + self.transfer_ns
+    }
+
+    /// Total cost of a page program issued by the host (transfer + program).
+    pub fn program_total(&self) -> Nanos {
+        self.program_ns + self.transfer_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_include_transfer() {
+        let lat = LatencyConfig::default();
+        assert_eq!(lat.read_total(), lat.read_ns + lat.transfer_ns);
+        assert_eq!(lat.program_total(), lat.program_ns + lat.transfer_ns);
+    }
+}

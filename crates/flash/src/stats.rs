@@ -1,0 +1,59 @@
+//! Operation counters for the flash array.
+
+/// Cumulative flash operation counts.
+///
+/// # Examples
+///
+/// ```
+/// use almanac_flash::FlashStats;
+/// let s = FlashStats::default();
+/// assert_eq!(s.reads + s.programs + s.erases, 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlashStats {
+    /// Page reads performed.
+    pub reads: u64,
+    /// Page programs performed.
+    pub programs: u64,
+    /// Block erases performed.
+    pub erases: u64,
+}
+
+impl FlashStats {
+    /// Difference between two snapshots (`self - earlier`).
+    pub fn since(&self, earlier: &FlashStats) -> FlashStats {
+        FlashStats {
+            reads: self.reads - earlier.reads,
+            programs: self.programs - earlier.programs,
+            erases: self.erases - earlier.erases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let a = FlashStats {
+            reads: 10,
+            programs: 5,
+            erases: 1,
+        };
+        let b = FlashStats {
+            reads: 4,
+            programs: 2,
+            erases: 0,
+        };
+        let d = a.since(&b);
+        assert_eq!(
+            d,
+            FlashStats {
+                reads: 6,
+                programs: 3,
+                erases: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests of the flash-array simulator's physical invariants.
+
+use almanac_flash::{
+    FlashArray, FlashError, Geometry, LatencyConfig, Lpa, Oob, PageData, PageState,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Program { block: u64, data: u8 },
+    Erase { block: u64 },
+    Read { block: u64, off: u32 },
+}
+
+fn op_strategy(blocks: u64, ppb: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..blocks, any::<u8>()).prop_map(|(block, data)| Op::Program { block, data }),
+        1 => (0..blocks).prop_map(|block| Op::Erase { block }),
+        3 => (0..blocks, 0..ppb).prop_map(|(block, off)| Op::Read { block, off }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A shadow model tracks what每 page must hold; the simulator must agree
+    /// and its errors must exactly match the physical rules.
+    #[test]
+    fn simulator_matches_shadow_model(
+        ops in proptest::collection::vec(op_strategy(16, 8), 1..300)
+    ) {
+        let geo = Geometry::small_test();
+        let mut flash = FlashArray::new(geo, LatencyConfig::default());
+        // Shadow: per-block write pointer and page contents.
+        let mut shadow: Vec<(u32, Vec<Option<u8>>)> =
+            vec![(0, vec![None; 8]); geo.total_blocks() as usize];
+        let mut now = 0u64;
+        for op in &ops {
+            now += 1000;
+            match op {
+                Op::Program { block, data } => {
+                    let (wp, pages) = &mut shadow[*block as usize];
+                    let off = *wp;
+                    if off >= geo.pages_per_block {
+                        // Full block: programming its next page is impossible;
+                        // the simulator must reject out-of-range or written.
+                        let ppa = geo.ppa(*block, geo.pages_per_block - 1);
+                        let err = flash
+                            .program(ppa, PageData::bytes(vec![*data]), Oob::new(Lpa(0), None, now), now)
+                            .unwrap_err();
+                        prop_assert!(matches!(err, FlashError::ProgramWritten(_)));
+                        continue;
+                    }
+                    let ppa = geo.ppa(*block, off);
+                    flash
+                        .program(ppa, PageData::bytes(vec![*data]), Oob::new(Lpa(*data as u64), None, now), now)
+                        .unwrap();
+                    pages[off as usize] = Some(*data);
+                    *wp += 1;
+                }
+                Op::Erase { block } => {
+                    flash.erase(almanac_flash::BlockId(*block), now).unwrap();
+                    shadow[*block as usize] = (0, vec![None; 8]);
+                }
+                Op::Read { block, off } => {
+                    let ppa = geo.ppa(*block, *off);
+                    let expect = shadow[*block as usize].1[*off as usize];
+                    match expect {
+                        Some(byte) => {
+                            let (data, oob, _) = flash.read(ppa, now).unwrap();
+                            prop_assert_eq!(data, PageData::bytes(vec![byte]));
+                            prop_assert_eq!(oob.lpa, Lpa(byte as u64));
+                        }
+                        None => {
+                            prop_assert_eq!(flash.read(ppa, now).unwrap_err(), FlashError::ReadFree(ppa));
+                        }
+                    }
+                }
+            }
+        }
+        // Final audit: page states agree everywhere.
+        for b in 0..geo.total_blocks() {
+            for off in 0..geo.pages_per_block {
+                let ppa = geo.ppa(b, off);
+                let expect = shadow[b as usize].1[off as usize];
+                let state = flash.page_state(ppa).unwrap();
+                match expect {
+                    Some(_) => prop_assert_eq!(state, PageState::Written),
+                    None => prop_assert_eq!(state, PageState::Free),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn completion_times_never_decrease_per_chip(
+        offs in proptest::collection::vec(0..16u64, 1..64)
+    ) {
+        let geo = Geometry::small_test();
+        let mut flash = FlashArray::new(geo, LatencyConfig::default());
+        let mut wp = vec![0u32; geo.total_blocks() as usize];
+        let mut last_finish_per_chip = vec![0u64; geo.total_chips() as usize];
+        for (i, block) in offs.iter().enumerate() {
+            let off = wp[*block as usize];
+            if off >= geo.pages_per_block {
+                continue;
+            }
+            wp[*block as usize] += 1;
+            let ppa = geo.ppa(*block, off);
+            let chip = geo.chip_of_ppa(ppa) as usize;
+            let finish = flash
+                .program(ppa, PageData::Zeros, Oob::new(Lpa(0), None, 0), i as u64)
+                .unwrap();
+            prop_assert!(finish >= last_finish_per_chip[chip]);
+            last_finish_per_chip[chip] = finish;
+        }
+    }
+}

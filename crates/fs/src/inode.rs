@@ -1,0 +1,78 @@
+//! Inodes and file identifiers.
+
+use almanac_flash::Lpa;
+
+/// File identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u64);
+
+/// One file's metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// File identity.
+    pub id: FileId,
+    /// File name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Data pages in file order.
+    pub pages: Vec<Lpa>,
+}
+
+impl Inode {
+    /// Serialises the inode into page bytes (a compact, self-describing
+    /// text form that [`Inode::from_page_bytes`] can parse back — this is
+    /// what forensic recovery reads from the raw device).
+    pub fn to_page_bytes(&self) -> Vec<u8> {
+        let mut s = format!("inode {} {} {}\n", self.id.0, self.size, self.name);
+        for p in &self.pages {
+            s.push_str(&format!("{} ", p.0));
+        }
+        s.push('\n');
+        s.into_bytes()
+    }
+
+    /// Parses an inode-table page written by [`Inode::to_page_bytes`];
+    /// returns `None` for deleted markers, zero pages, or foreign content.
+    pub fn from_page_bytes(bytes: &[u8]) -> Option<Inode> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let rest = header.strip_prefix("inode ")?;
+        let mut fields = rest.splitn(3, ' ');
+        let id = FileId(fields.next()?.parse().ok()?);
+        let size: u64 = fields.next()?.parse().ok()?;
+        let name = fields.next()?.trim_end_matches('\0').to_string();
+        let pages = lines
+            .next()
+            .unwrap_or("")
+            .split_whitespace()
+            .map(|p| p.parse().map(Lpa))
+            .collect::<Result<Vec<Lpa>, _>>()
+            .ok()?;
+        Some(Inode {
+            id,
+            name,
+            size,
+            pages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialised_inode_mentions_identity() {
+        let inode = Inode {
+            id: FileId(7),
+            name: "x.txt".into(),
+            size: 42,
+            pages: vec![Lpa(10), Lpa(11)],
+        };
+        let s = String::from_utf8(inode.to_page_bytes()).unwrap();
+        assert!(s.contains("inode 7 42 x.txt"));
+        assert!(s.contains("10 11"));
+    }
+}

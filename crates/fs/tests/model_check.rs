@@ -1,0 +1,138 @@
+//! Property-based model checking of the file system against an in-memory
+//! reference (a `HashMap<FileId, Vec<u8>>`), across all three write-path
+//! modes.
+
+use std::collections::HashMap;
+
+use almanac_core::{RegularSsd, SsdConfig};
+use almanac_flash::Geometry;
+use almanac_fs::{AlmanacFs, FileId, FsMode};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create,
+    Write {
+        file: prop::sample::Index,
+        offset: u16,
+        data: Vec<u8>,
+    },
+    Read {
+        file: prop::sample::Index,
+    },
+    Delete {
+        file: prop::sample::Index,
+    },
+    Truncate {
+        file: prop::sample::Index,
+        size: u16,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Create),
+        5 => (any::<prop::sample::Index>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 1..2048))
+            .prop_map(|(file, offset, data)| Op::Write { file, offset: offset % 8192, data }),
+        3 => any::<prop::sample::Index>().prop_map(|file| Op::Read { file }),
+        1 => any::<prop::sample::Index>().prop_map(|file| Op::Delete { file }),
+        1 => (any::<prop::sample::Index>(), any::<u16>())
+            .prop_map(|(file, size)| Op::Truncate { file, size: size % 8192 }),
+    ]
+}
+
+fn check_mode(mode: FsMode, ops: &[Op]) -> Result<(), TestCaseError> {
+    let ssd = RegularSsd::new(SsdConfig::new(Geometry::medium_test()));
+    let mut fs = AlmanacFs::new(ssd, mode).unwrap();
+    let mut model: HashMap<FileId, Vec<u8>> = HashMap::new();
+    let mut ids: Vec<FileId> = Vec::new();
+    let mut t = 0u64;
+    let mut created = 0u32;
+
+    for op in ops {
+        t += 1_000_000;
+        match op {
+            Op::Create => {
+                let (fid, ct) = fs.create(&format!("f{created}"), t).unwrap();
+                created += 1;
+                t = ct;
+                model.insert(fid, Vec::new());
+                ids.push(fid);
+            }
+            Op::Write { file, offset, data } => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let fid = ids[file.index(ids.len())];
+                let off = *offset as u64;
+                t = fs.write(fid, off, data, t).unwrap();
+                let m = model.get_mut(&fid).unwrap();
+                let end = off as usize + data.len();
+                if m.len() < end {
+                    m.resize(end, 0);
+                }
+                m[off as usize..end].copy_from_slice(data);
+            }
+            Op::Read { file } => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let fid = ids[file.index(ids.len())];
+                let m = &model[&fid];
+                if m.is_empty() {
+                    continue;
+                }
+                let (bytes, rt) = fs.read(fid, 0, m.len() as u64, t).unwrap();
+                t = rt;
+                prop_assert_eq!(&bytes, m, "mode {:?}: file content diverged", mode);
+            }
+            Op::Delete { file } => {
+                if ids.len() <= 1 {
+                    continue;
+                }
+                let idx = file.index(ids.len());
+                let fid = ids.swap_remove(idx);
+                t = fs.delete(fid, t).unwrap();
+                model.remove(&fid);
+            }
+            Op::Truncate { file, size } => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let fid = ids[file.index(ids.len())];
+                let new_size = (*size as u64).min(model[&fid].len() as u64);
+                t = fs.truncate(fid, new_size, t).unwrap();
+                model.get_mut(&fid).unwrap().truncate(new_size as usize);
+            }
+        }
+    }
+
+    // Final audit: every live file matches the model byte for byte.
+    for (fid, m) in &model {
+        if m.is_empty() {
+            continue;
+        }
+        let (bytes, _) = fs.read(*fid, 0, m.len() as u64, t).unwrap();
+        prop_assert_eq!(&bytes, m, "mode {:?}: final audit diverged", mode);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ext4_nj_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        check_mode(FsMode::Ext4NoJournal, &ops)?;
+    }
+
+    #[test]
+    fn ext4_journal_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        check_mode(FsMode::Ext4DataJournal, &ops)?;
+    }
+
+    #[test]
+    fn f2fs_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        check_mode(FsMode::F2fsLog, &ops)?;
+    }
+}

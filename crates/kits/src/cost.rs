@@ -1,0 +1,118 @@
+//! Virtual cost accounting for storage-state queries.
+//!
+//! Query work is a bag of flash reads (each pinned to the chip holding the
+//! page) plus firmware CPU work (delta decompression). TimeKits schedules
+//! the per-chip read queues onto `threads` host workers round-robin; the
+//! reported latency is the makespan — which is how the paper's queries get
+//! faster with more threads (Figure 11) while a single chip's queue bounds
+//! the speedup.
+
+use almanac_flash::Nanos;
+
+/// Accumulated virtual cost of one query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    per_chip: Vec<Nanos>,
+    cpu: Nanos,
+    /// Flash reads issued.
+    pub flash_reads: u64,
+    /// Deltas decompressed.
+    pub decompressions: u64,
+}
+
+impl QueryCost {
+    /// Empty cost over `chips` flash chips.
+    pub fn new(chips: u32) -> Self {
+        QueryCost {
+            per_chip: vec![0; chips as usize],
+            cpu: 0,
+            flash_reads: 0,
+            decompressions: 0,
+        }
+    }
+
+    /// Charges one flash read of `cost` to `chip`.
+    pub fn charge_read(&mut self, chip: u32, cost: Nanos) {
+        self.per_chip[chip as usize] += cost;
+        self.flash_reads += 1;
+    }
+
+    /// Charges CPU work (decompression, verification).
+    pub fn charge_cpu(&mut self, cost: Nanos) {
+        self.cpu += cost;
+    }
+
+    /// Notes one decompression (the CPU cost is charged separately).
+    pub fn note_decompression(&mut self) {
+        self.decompressions += 1;
+    }
+
+    /// Merges another cost (e.g. from a parallel worker).
+    pub fn merge(&mut self, other: &QueryCost) {
+        for (a, b) in self.per_chip.iter_mut().zip(&other.per_chip) {
+            *a += b;
+        }
+        self.cpu += other.cpu;
+        self.flash_reads += other.flash_reads;
+        self.decompressions += other.decompressions;
+    }
+
+    /// Query latency with `threads` host workers: chips are dealt to the
+    /// workers round-robin; a worker's time is the sum of its chips' queues;
+    /// the makespan is the worst worker. CPU work is spread evenly.
+    pub fn makespan(&self, threads: u32) -> Nanos {
+        let threads = threads.max(1) as usize;
+        let mut workers = vec![0u64; threads];
+        for (chip, &cost) in self.per_chip.iter().enumerate() {
+            workers[chip % threads] += cost;
+        }
+        let cpu_share = self.cpu / threads as u64;
+        workers.iter().map(|w| w + cpu_share).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_single_thread_sums_everything() {
+        let mut c = QueryCost::new(4);
+        c.charge_read(0, 10);
+        c.charge_read(1, 20);
+        c.charge_cpu(5);
+        assert_eq!(c.makespan(1), 35);
+    }
+
+    #[test]
+    fn makespan_shrinks_with_threads() {
+        let mut c = QueryCost::new(4);
+        for chip in 0..4 {
+            c.charge_read(chip, 100);
+        }
+        assert_eq!(c.makespan(1), 400);
+        assert_eq!(c.makespan(2), 200);
+        assert_eq!(c.makespan(4), 100);
+    }
+
+    #[test]
+    fn single_chip_bounds_speedup() {
+        let mut c = QueryCost::new(4);
+        c.charge_read(2, 100);
+        c.charge_read(2, 100);
+        assert_eq!(c.makespan(8), 200);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = QueryCost::new(2);
+        a.charge_read(0, 10);
+        let mut b = QueryCost::new(2);
+        b.charge_read(1, 30);
+        b.note_decompression();
+        a.merge(&b);
+        assert_eq!(a.flash_reads, 2);
+        assert_eq!(a.decompressions, 1);
+        assert_eq!(a.makespan(1), 40);
+    }
+}

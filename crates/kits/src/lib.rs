@@ -1,0 +1,53 @@
+//! TimeKits: the storage-state query and rollback toolkit of Project
+//! Almanac (§3.9, Table 1).
+//!
+//! TimeKits rides on the firmware-isolated time-travel property of
+//! [`TimeSsd`](almanac_core::TimeSsd) and exposes the paper's full API:
+//!
+//! | API | Meaning |
+//! |-----|---------|
+//! | `addr_query` | state of LPA(s) as of a past time |
+//! | `addr_query_range` | all versions of LPA(s) in a time window |
+//! | `addr_query_all` | every retained version of LPA(s) |
+//! | `time_query` | LPAs updated since a time, with timestamps |
+//! | `time_query_range` | LPAs updated inside a window |
+//! | `time_query_all` | LPAs updated inside the whole retention window |
+//! | `roll_back` | revert LPA(s) to their state at a past time |
+//! | `roll_back_all` | revert every valid LPA |
+//!
+//! Queries exploit the SSD's internal parallelism: retrieval work is
+//! scheduled across flash chips and the reported virtual latency is the
+//! makespan across worker threads (Figure 11's multi-threaded recovery).
+//!
+//! # Examples
+//!
+//! ```
+//! use almanac_core::{SsdConfig, SsdDevice, TimeSsd};
+//! use almanac_flash::{Geometry, Lpa, PageData, SEC_NS};
+//! use almanac_kits::TimeKits;
+//!
+//! let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::small_test()));
+//! ssd.write(Lpa(0), PageData::bytes(b"old".to_vec()), SEC_NS).unwrap();
+//! ssd.write(Lpa(0), PageData::bytes(b"new".to_vec()), 5 * SEC_NS).unwrap();
+//!
+//! let mut kits = TimeKits::new(&mut ssd);
+//! // What did LPA 0 hold three seconds in?
+//! let (hits, _cost) = kits.addr_query(Lpa(0), 1, 3 * SEC_NS).unwrap();
+//! assert_eq!(hits[0].data, PageData::bytes(b"old".to_vec()));
+//! // Roll it back.
+//! kits.roll_back(Lpa(0), 1, 3 * SEC_NS, 10 * SEC_NS).unwrap();
+//! let (data, _) = ssd.read(Lpa(0), 11 * SEC_NS).unwrap();
+//! assert_eq!(data, PageData::bytes(b"old".to_vec()));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cost;
+mod evidence;
+mod kits;
+mod recovery;
+
+pub use cost::QueryCost;
+pub use evidence::{EvidenceArchive, EvidenceRecord};
+pub use kits::{QueryHit, RollbackOutcome, TimeKits, TimeQueryHit};
+pub use recovery::{FileMap, RecoveredFile};

@@ -1,0 +1,100 @@
+//! Property tests of the TimeKits query semantics against a reference
+//! history.
+
+use almanac_core::{SsdConfig, SsdDevice, TimeSsd};
+use almanac_flash::{Geometry, Lpa, PageData, SEC_NS};
+use almanac_kits::TimeKits;
+use proptest::prelude::*;
+
+/// Per-LPA reference log: `(lpa, [(timestamp, version tag)])`.
+type HistoryLog = Vec<(u64, Vec<(u64, u64)>)>;
+
+/// Builds a device with a known, seeded history and returns it together
+/// with the reference log.
+fn build_history(writes: &[(u8, u8)]) -> (TimeSsd, HistoryLog) {
+    let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+    let mut log: Vec<(u64, Vec<(u64, u64)>)> = (0..8).map(|l| (l, Vec::new())).collect();
+    let mut t = SEC_NS;
+    for (i, (lpa8, tag8)) in writes.iter().enumerate() {
+        let lpa = (*lpa8 % 8) as u64;
+        let tag = *tag8 as u64 + (i as u64) * 256;
+        let c = ssd
+            .write(
+                Lpa(lpa),
+                PageData::Synthetic {
+                    seed: lpa,
+                    version: tag,
+                },
+                t,
+            )
+            .unwrap();
+        log[lpa as usize].1.push((c.start, tag));
+        t = c.finish + SEC_NS;
+    }
+    (ssd, log)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn addr_query_matches_reference(writes in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..64)) {
+        let (mut ssd, log) = build_history(&writes);
+        let kits = TimeKits::new(&mut ssd);
+        for (lpa, history) in &log {
+            if history.is_empty() {
+                continue;
+            }
+            // Query "as of" halfway through this page's history.
+            let (mid_ts, mid_tag) = history[history.len() / 2];
+            let (hits, _) = kits.addr_query(Lpa(*lpa), 1, mid_ts).unwrap();
+            prop_assert_eq!(hits.len(), 1);
+            prop_assert_eq!(&hits[0].data, &PageData::Synthetic { seed: *lpa, version: mid_tag });
+            // Range query returns exactly the versions inside the range.
+            let from = history.first().unwrap().0;
+            let to = history.last().unwrap().0;
+            let (range_hits, _) = kits.addr_query_range(Lpa(*lpa), 1, from, to).unwrap();
+            prop_assert_eq!(range_hits.len(), history.len());
+        }
+    }
+
+    #[test]
+    fn time_query_counts_every_update(writes in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..64)) {
+        let (mut ssd, log) = build_history(&writes);
+        let kits = TimeKits::new(&mut ssd).with_threads(3);
+        let (hits, _) = kits.time_query_all();
+        let expected_updates: usize = log.iter().map(|(_, h)| h.len()).sum();
+        let reported: usize = hits.iter().map(|h| h.timestamps.len()).sum();
+        prop_assert_eq!(reported, expected_updates);
+        // Per-LPA timestamps strictly decreasing (newest first).
+        for h in &hits {
+            prop_assert!(h.timestamps.windows(2).all(|w| w[0] > w[1]));
+        }
+    }
+
+    #[test]
+    fn rollback_is_exact_and_undoable(
+        writes in proptest::collection::vec((any::<u8>(), any::<u8>()), 2..48),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let (mut ssd, log) = build_history(&writes);
+        // Choose an LPA with at least 2 versions.
+        let candidates: Vec<&(u64, Vec<(u64, u64)>)> =
+            log.iter().filter(|(_, h)| h.len() >= 2).collect();
+        if candidates.is_empty() {
+            return Ok(());
+        }
+        let (lpa, history) = candidates[pick.index(candidates.len())];
+        let (target_ts, target_tag) = history[0]; // the oldest version
+        let pre_rollback_len = ssd.version_chain(Lpa(*lpa)).len();
+
+        let mut kits = TimeKits::new(&mut ssd);
+        let now = history.last().unwrap().0 + SEC_NS;
+        let out = kits.roll_back(Lpa(*lpa), 1, target_ts, now).unwrap();
+        prop_assert_eq!(out.restored.len(), 1);
+        let (data, _) = ssd.read(Lpa(*lpa), now + SEC_NS).unwrap();
+        prop_assert_eq!(data, PageData::Synthetic { seed: *lpa, version: target_tag });
+        // The rollback added a version instead of destroying any.
+        prop_assert_eq!(ssd.version_chain(Lpa(*lpa)).len(), pre_rollback_len + 1);
+    }
+}

@@ -1,0 +1,386 @@
+//! The simulated NVMe controller: fetches submission entries, interprets
+//! them (including the TimeKits vendor commands), executes them against the
+//! TimeSSD firmware, and posts completion entries.
+
+use std::collections::{HashMap, VecDeque};
+
+use almanac_core::{AlmanacError, SsdDevice, TimeSsd};
+use almanac_flash::{Lpa, Nanos, PageData};
+use almanac_kits::TimeKits;
+
+use crate::sqe::{CompletionEntry, NvmeOpcode, SubmissionEntry};
+
+/// NVMe status codes used by the controller (generic command status set,
+/// plus a vendor code for the §3.4 stall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum NvmeStatus {
+    /// Success.
+    Success = 0x0000,
+    /// Invalid command opcode.
+    InvalidOpcode = 0x0001,
+    /// Invalid field in command.
+    InvalidField = 0x0002,
+    /// LBA out of range.
+    LbaOutOfRange = 0x0080,
+    /// Vendor: device stalled — free space exhausted inside the retention
+    /// guarantee (the host-visible symptom of §3.4).
+    RetentionStall = 0x01C0,
+    /// Vendor: no version found at the requested time.
+    NoSuchVersion = 0x01C1,
+}
+
+/// The controller: one submission queue, one completion queue, and a host
+/// buffer table standing in for PRP lists.
+pub struct NvmeController {
+    ssd: TimeSsd,
+    sq: VecDeque<SubmissionEntry>,
+    cq: VecDeque<CompletionEntry>,
+    buffers: HashMap<u32, Vec<Vec<u8>>>,
+    next_buffer: u32,
+}
+
+impl NvmeController {
+    /// Creates a controller over a TimeSSD.
+    pub fn new(ssd: TimeSsd) -> Self {
+        NvmeController {
+            ssd,
+            sq: VecDeque::new(),
+            cq: VecDeque::new(),
+            buffers: HashMap::new(),
+            next_buffer: 1,
+        }
+    }
+
+    /// Direct firmware access (diagnostics; the host normally goes through
+    /// the queues).
+    pub fn ssd(&self) -> &TimeSsd {
+        &self.ssd
+    }
+
+    /// Registers a host data buffer (one `Vec<u8>` per page), returning its
+    /// handle for an SQE.
+    pub fn register_buffer(&mut self, pages: Vec<Vec<u8>>) -> u32 {
+        let id = self.next_buffer;
+        self.next_buffer += 1;
+        self.buffers.insert(id, pages);
+        id
+    }
+
+    /// Takes back a buffer after completion (e.g. filled by a read).
+    pub fn take_buffer(&mut self, id: u32) -> Option<Vec<Vec<u8>>> {
+        self.buffers.remove(&id)
+    }
+
+    /// Rings the doorbell: queues one submission entry.
+    pub fn submit(&mut self, entry: SubmissionEntry) {
+        self.sq.push_back(entry);
+    }
+
+    /// Pops the next completion, if any.
+    pub fn pop_completion(&mut self) -> Option<CompletionEntry> {
+        self.cq.pop_front()
+    }
+
+    /// Processes every queued command at virtual time `now`.
+    pub fn process(&mut self, now: Nanos) {
+        while let Some(entry) = self.sq.pop_front() {
+            let completion = self.execute(entry, now);
+            self.cq.push_back(completion);
+        }
+    }
+
+    fn status_of(err: &AlmanacError) -> NvmeStatus {
+        match err {
+            AlmanacError::LpaOutOfRange { .. } => NvmeStatus::LbaOutOfRange,
+            AlmanacError::DeviceStalled { .. } => NvmeStatus::RetentionStall,
+            AlmanacError::NoSuchVersion { .. } => NvmeStatus::NoSuchVersion,
+            _ => NvmeStatus::InvalidField,
+        }
+    }
+
+    fn complete(cid: u16, status: NvmeStatus, result: u32) -> CompletionEntry {
+        CompletionEntry {
+            cid,
+            status: status as u16,
+            result,
+        }
+    }
+
+    fn execute(&mut self, e: SubmissionEntry, now: Nanos) -> CompletionEntry {
+        let page_size = self.ssd.geometry().page_size as usize;
+        match e.opcode {
+            NvmeOpcode::Flush => match self.ssd.flush_buffers(now) {
+                Ok(_) => Self::complete(e.cid, NvmeStatus::Success, 0),
+                Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
+            },
+            NvmeOpcode::Write => {
+                let lpa = e.get_u64(0);
+                let count = e.cdw[2] as u64;
+                let Some(pages) = self.buffers.get(&e.buffer).cloned() else {
+                    return Self::complete(e.cid, NvmeStatus::InvalidField, 0);
+                };
+                if pages.len() < count as usize {
+                    return Self::complete(e.cid, NvmeStatus::InvalidField, 0);
+                }
+                let mut done = 0u32;
+                for i in 0..count {
+                    let data = PageData::bytes(pages[i as usize].clone());
+                    match self.ssd.write(Lpa(lpa + i), data, now) {
+                        Ok(_) => done += 1,
+                        Err(err) => return Self::complete(e.cid, Self::status_of(&err), done),
+                    }
+                }
+                Self::complete(e.cid, NvmeStatus::Success, done)
+            }
+            NvmeOpcode::Read => {
+                let lpa = e.get_u64(0);
+                let count = e.cdw[2] as u64;
+                let mut pages = Vec::with_capacity(count as usize);
+                for i in 0..count {
+                    match self.ssd.read(Lpa(lpa + i), now) {
+                        Ok((data, _)) => pages.push(data.materialize(page_size)),
+                        Err(err) => return Self::complete(e.cid, Self::status_of(&err), 0),
+                    }
+                }
+                self.buffers.insert(e.buffer, pages);
+                Self::complete(e.cid, NvmeStatus::Success, count as u32)
+            }
+            NvmeOpcode::DatasetMgmt => {
+                let lpa = e.get_u64(0);
+                let count = e.cdw[2] as u64;
+                for i in 0..count {
+                    if let Err(err) = self.ssd.trim(Lpa(lpa + i), now) {
+                        return Self::complete(e.cid, Self::status_of(&err), 0);
+                    }
+                }
+                Self::complete(e.cid, NvmeStatus::Success, count as u32)
+            }
+            NvmeOpcode::AddrQuery => {
+                let (lpa, cnt, t) = (e.get_u64(0), e.cdw[2] as u64, e.get_u64(4));
+                let kits = TimeKits::new(&mut self.ssd);
+                match kits.addr_query(Lpa(lpa), cnt, t) {
+                    Ok((hits, _)) => {
+                        let pages = hits.iter().map(|h| h.data.materialize(page_size)).collect();
+                        let n = hits.len() as u32;
+                        self.buffers.insert(e.buffer, pages);
+                        Self::complete(e.cid, NvmeStatus::Success, n)
+                    }
+                    Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
+                }
+            }
+            NvmeOpcode::AddrQueryRange => {
+                let lpa = e.get_u64(0);
+                let cnt = e.cdw[2] as u64;
+                // t1 in CDW13 (seconds), t2 in CDW14 (seconds) — range
+                // queries use second granularity on the wire.
+                let t1 = e.cdw[3] as u64 * 1_000_000_000;
+                let t2 = e.cdw[4] as u64 * 1_000_000_000;
+                let kits = TimeKits::new(&mut self.ssd);
+                match kits.addr_query_range(Lpa(lpa), cnt, t1, t2) {
+                    Ok((hits, _)) => {
+                        let pages = hits.iter().map(|h| h.data.materialize(page_size)).collect();
+                        let n = hits.len() as u32;
+                        self.buffers.insert(e.buffer, pages);
+                        Self::complete(e.cid, NvmeStatus::Success, n)
+                    }
+                    Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
+                }
+            }
+            NvmeOpcode::AddrQueryAll => {
+                let (lpa, cnt) = (e.get_u64(0), e.cdw[2] as u64);
+                let kits = TimeKits::new(&mut self.ssd);
+                match kits.addr_query_all(Lpa(lpa), cnt) {
+                    Ok((hits, _)) => {
+                        let pages = hits.iter().map(|h| h.data.materialize(page_size)).collect();
+                        let n = hits.len() as u32;
+                        self.buffers.insert(e.buffer, pages);
+                        Self::complete(e.cid, NvmeStatus::Success, n)
+                    }
+                    Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
+                }
+            }
+            NvmeOpcode::TimeQuery | NvmeOpcode::TimeQueryRange | NvmeOpcode::TimeQueryAll => {
+                let kits = TimeKits::new(&mut self.ssd).with_threads(4);
+                let (hits, _) = match e.opcode {
+                    NvmeOpcode::TimeQuery => kits.time_query(e.get_u64(0)),
+                    NvmeOpcode::TimeQueryRange => kits.time_query_range(e.get_u64(0), e.get_u64(2)),
+                    _ => kits.time_query_all(),
+                };
+                // The result buffer carries `(lpa, n_timestamps)` pairs as
+                // 16-byte rows.
+                let rows: Vec<Vec<u8>> = hits
+                    .iter()
+                    .map(|h| {
+                        let mut row = Vec::with_capacity(16);
+                        row.extend_from_slice(&h.lpa.0.to_le_bytes());
+                        row.extend_from_slice(&(h.timestamps.len() as u64).to_le_bytes());
+                        row
+                    })
+                    .collect();
+                let n = hits.len() as u32;
+                self.buffers.insert(e.buffer, rows);
+                Self::complete(e.cid, NvmeStatus::Success, n)
+            }
+            NvmeOpcode::RollBack => {
+                let (lpa, cnt, t) = (e.get_u64(0), e.cdw[2] as u64, e.get_u64(4));
+                let mut kits = TimeKits::new(&mut self.ssd);
+                match kits.roll_back(Lpa(lpa), cnt, t, now) {
+                    Ok(out) => {
+                        Self::complete(e.cid, NvmeStatus::Success, out.restored.len() as u32)
+                    }
+                    Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
+                }
+            }
+            NvmeOpcode::RollBackAll => {
+                let t = e.get_u64(0);
+                let mut kits = TimeKits::new(&mut self.ssd);
+                match kits.roll_back_all(t, now) {
+                    Ok(out) => {
+                        Self::complete(e.cid, NvmeStatus::Success, out.restored.len() as u32)
+                    }
+                    Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use almanac_core::SsdConfig;
+    use almanac_flash::{Geometry, SEC_NS};
+
+    fn controller() -> NvmeController {
+        NvmeController::new(TimeSsd::new(SsdConfig::new(Geometry::small_test())))
+    }
+
+    #[test]
+    fn write_read_through_the_wire() {
+        let mut c = controller();
+        let buf = c.register_buffer(vec![b"page zero".to_vec(), b"page one".to_vec()]);
+        let mut w = SubmissionEntry::new(NvmeOpcode::Write, 1);
+        w.set_u64(0, 10);
+        w.cdw[2] = 2;
+        w.buffer = buf;
+        c.submit(w);
+        c.process(SEC_NS);
+        let cqe = c.pop_completion().unwrap();
+        assert_eq!(cqe.status, NvmeStatus::Success as u16);
+        assert_eq!(cqe.result, 2);
+
+        let rbuf = c.register_buffer(Vec::new());
+        let mut r = SubmissionEntry::new(NvmeOpcode::Read, 2);
+        r.set_u64(0, 10);
+        r.cdw[2] = 2;
+        r.buffer = rbuf;
+        c.submit(r);
+        c.process(2 * SEC_NS);
+        assert_eq!(c.pop_completion().unwrap().status, 0);
+        let pages = c.take_buffer(rbuf).unwrap();
+        assert!(pages[0].starts_with(b"page zero"));
+        assert!(pages[1].starts_with(b"page one"));
+    }
+
+    #[test]
+    fn out_of_range_reports_lba_status() {
+        let mut c = controller();
+        let buf = c.register_buffer(vec![vec![0u8; 8]]);
+        let mut w = SubmissionEntry::new(NvmeOpcode::Write, 9);
+        w.set_u64(0, u64::MAX / 2);
+        w.cdw[2] = 1;
+        w.buffer = buf;
+        c.submit(w);
+        c.process(0);
+        assert_eq!(
+            c.pop_completion().unwrap().status,
+            NvmeStatus::LbaOutOfRange as u16
+        );
+    }
+
+    #[test]
+    fn vendor_addr_query_returns_old_version() {
+        let mut c = controller();
+        for (t, text) in [(1u64, "old"), (5, "new")] {
+            let buf = c.register_buffer(vec![text.as_bytes().to_vec()]);
+            let mut w = SubmissionEntry::new(NvmeOpcode::Write, t as u16);
+            w.set_u64(0, 0);
+            w.cdw[2] = 1;
+            w.buffer = buf;
+            c.submit(w);
+            c.process(t * SEC_NS);
+            c.pop_completion().unwrap();
+        }
+        let qbuf = c.register_buffer(Vec::new());
+        let mut q = SubmissionEntry::new(NvmeOpcode::AddrQuery, 50);
+        q.set_u64(0, 0);
+        q.cdw[2] = 1;
+        q.set_u64(4, 2 * SEC_NS);
+        q.buffer = qbuf;
+        c.submit(q);
+        c.process(10 * SEC_NS);
+        let cqe = c.pop_completion().unwrap();
+        assert_eq!(cqe.status, 0);
+        assert_eq!(cqe.result, 1);
+        let pages = c.take_buffer(qbuf).unwrap();
+        assert!(pages[0].starts_with(b"old"));
+    }
+
+    #[test]
+    fn vendor_rollback_restores_state() {
+        let mut c = controller();
+        for (t, text) in [(1u64, "good"), (5, "bad!")] {
+            let buf = c.register_buffer(vec![text.as_bytes().to_vec()]);
+            let mut w = SubmissionEntry::new(NvmeOpcode::Write, t as u16);
+            w.set_u64(0, 4);
+            w.cdw[2] = 1;
+            w.buffer = buf;
+            c.submit(w);
+            c.process(t * SEC_NS);
+            c.pop_completion().unwrap();
+        }
+        let mut rb = SubmissionEntry::new(NvmeOpcode::RollBack, 60);
+        rb.set_u64(0, 4);
+        rb.cdw[2] = 1;
+        rb.set_u64(4, 2 * SEC_NS);
+        c.submit(rb);
+        c.process(10 * SEC_NS);
+        assert_eq!(c.pop_completion().unwrap().result, 1);
+
+        let rbuf = c.register_buffer(Vec::new());
+        let mut r = SubmissionEntry::new(NvmeOpcode::Read, 61);
+        r.set_u64(0, 4);
+        r.cdw[2] = 1;
+        r.buffer = rbuf;
+        c.submit(r);
+        c.process(20 * SEC_NS);
+        c.pop_completion().unwrap();
+        assert!(c.take_buffer(rbuf).unwrap()[0].starts_with(b"good"));
+    }
+
+    #[test]
+    fn time_query_rows_encode_lpa_and_count() {
+        let mut c = controller();
+        let buf = c.register_buffer(vec![b"x".to_vec()]);
+        let mut w = SubmissionEntry::new(NvmeOpcode::Write, 1);
+        w.set_u64(0, 7);
+        w.cdw[2] = 1;
+        w.buffer = buf;
+        c.submit(w);
+        c.process(SEC_NS);
+        c.pop_completion().unwrap();
+
+        let qbuf = c.register_buffer(Vec::new());
+        let mut q = SubmissionEntry::new(NvmeOpcode::TimeQueryAll, 2);
+        q.buffer = qbuf;
+        c.submit(q);
+        c.process(2 * SEC_NS);
+        let cqe = c.pop_completion().unwrap();
+        assert_eq!(cqe.result, 1);
+        let rows = c.take_buffer(qbuf).unwrap();
+        let lpa = u64::from_le_bytes(rows[0][0..8].try_into().unwrap());
+        let n = u64::from_le_bytes(rows[0][8..16].try_into().unwrap());
+        assert_eq!((lpa, n), (7, 1));
+    }
+}

@@ -1,0 +1,249 @@
+//! The host-side NVMe driver: a typed API that goes through the wire format
+//! — the layer TimeKits sits on in the paper's implementation (§4).
+
+use std::fmt;
+
+use almanac_flash::{Lpa, Nanos};
+
+use crate::controller::{NvmeController, NvmeStatus};
+use crate::sqe::{NvmeOpcode, SubmissionEntry};
+
+/// Errors surfaced by the driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The controller returned a non-success NVMe status.
+    Status {
+        /// Raw status code.
+        code: u16,
+        /// The command that failed.
+        opcode: NvmeOpcode,
+    },
+    /// The completion for our command never arrived.
+    Lost(NvmeOpcode),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Status { code, opcode } => {
+                write!(f, "{opcode:?} failed with NVMe status {code:#06x}")
+            }
+            DriverError::Lost(op) => write!(f, "completion lost for {op:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Result alias.
+pub type DriverResult<T> = Result<T, DriverError>;
+
+/// The host driver.
+pub struct HostDriver {
+    controller: NvmeController,
+    next_cid: u16,
+}
+
+impl HostDriver {
+    /// Attaches a driver to a controller.
+    pub fn new(controller: NvmeController) -> Self {
+        HostDriver {
+            controller,
+            next_cid: 1,
+        }
+    }
+
+    /// The attached controller (for inspection).
+    pub fn controller(&self) -> &NvmeController {
+        &self.controller
+    }
+
+    fn issue(&mut self, mut entry: SubmissionEntry, now: Nanos) -> DriverResult<(u32, u32)> {
+        let cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1).max(1);
+        entry.cid = cid;
+        let opcode = entry.opcode;
+        let buffer = entry.buffer;
+        self.controller.submit(entry);
+        self.controller.process(now);
+        loop {
+            match self.controller.pop_completion() {
+                Some(cqe) if cqe.cid == cid => {
+                    if cqe.status == NvmeStatus::Success as u16 {
+                        return Ok((cqe.result, buffer));
+                    }
+                    return Err(DriverError::Status {
+                        code: cqe.status,
+                        opcode,
+                    });
+                }
+                Some(_) => continue,
+                None => return Err(DriverError::Lost(opcode)),
+            }
+        }
+    }
+
+    /// Writes one page of bytes.
+    pub fn write(&mut self, lpa: Lpa, page: Vec<u8>, now: Nanos) -> DriverResult<()> {
+        let buffer = self.controller.register_buffer(vec![page]);
+        let mut e = SubmissionEntry::new(NvmeOpcode::Write, 0);
+        e.set_u64(0, lpa.0);
+        e.cdw[2] = 1;
+        e.buffer = buffer;
+        self.issue(e, now)?;
+        self.controller.take_buffer(buffer);
+        Ok(())
+    }
+
+    /// Reads one page of bytes.
+    pub fn read(&mut self, lpa: Lpa, now: Nanos) -> DriverResult<Vec<u8>> {
+        let buffer = self.controller.register_buffer(Vec::new());
+        let mut e = SubmissionEntry::new(NvmeOpcode::Read, 0);
+        e.set_u64(0, lpa.0);
+        e.cdw[2] = 1;
+        e.buffer = buffer;
+        self.issue(e, now)?;
+        let mut pages = self
+            .controller
+            .take_buffer(buffer)
+            .ok_or(DriverError::Lost(NvmeOpcode::Read))?;
+        Ok(pages.remove(0))
+    }
+
+    /// Trims a range of pages.
+    pub fn trim(&mut self, lpa: Lpa, count: u32, now: Nanos) -> DriverResult<()> {
+        let mut e = SubmissionEntry::new(NvmeOpcode::DatasetMgmt, 0);
+        e.set_u64(0, lpa.0);
+        e.cdw[2] = count;
+        self.issue(e, now)?;
+        Ok(())
+    }
+
+    /// `AddrQuery` through the wire: the page contents as of time `t`.
+    pub fn addr_query(
+        &mut self,
+        lpa: Lpa,
+        count: u32,
+        t: Nanos,
+        now: Nanos,
+    ) -> DriverResult<Vec<Vec<u8>>> {
+        let buffer = self.controller.register_buffer(Vec::new());
+        let mut e = SubmissionEntry::new(NvmeOpcode::AddrQuery, 0);
+        e.set_u64(0, lpa.0);
+        e.cdw[2] = count;
+        e.set_u64(4, t);
+        e.buffer = buffer;
+        self.issue(e, now)?;
+        self.controller
+            .take_buffer(buffer)
+            .ok_or(DriverError::Lost(NvmeOpcode::AddrQuery))
+    }
+
+    /// `TimeQueryAll` through the wire: `(lpa, version count)` rows.
+    pub fn time_query_all(&mut self, now: Nanos) -> DriverResult<Vec<(u64, u64)>> {
+        let buffer = self.controller.register_buffer(Vec::new());
+        let mut e = SubmissionEntry::new(NvmeOpcode::TimeQueryAll, 0);
+        e.buffer = buffer;
+        self.issue(e, now)?;
+        let rows = self
+            .controller
+            .take_buffer(buffer)
+            .ok_or(DriverError::Lost(NvmeOpcode::TimeQueryAll))?;
+        Ok(rows
+            .iter()
+            .map(|r| {
+                (
+                    u64::from_le_bytes(r[0..8].try_into().expect("row width")),
+                    u64::from_le_bytes(r[8..16].try_into().expect("row width")),
+                )
+            })
+            .collect())
+    }
+
+    /// `RollBack` through the wire; returns the number of pages restored.
+    pub fn roll_back(&mut self, lpa: Lpa, count: u32, t: Nanos, now: Nanos) -> DriverResult<u32> {
+        let mut e = SubmissionEntry::new(NvmeOpcode::RollBack, 0);
+        e.set_u64(0, lpa.0);
+        e.cdw[2] = count;
+        e.set_u64(4, t);
+        let (restored, _) = self.issue(e, now)?;
+        Ok(restored)
+    }
+
+    /// `RollBackAll` through the wire; returns the number of pages restored.
+    pub fn roll_back_all(&mut self, t: Nanos, now: Nanos) -> DriverResult<u32> {
+        let mut e = SubmissionEntry::new(NvmeOpcode::RollBackAll, 0);
+        e.set_u64(0, t);
+        let (restored, _) = self.issue(e, now)?;
+        Ok(restored)
+    }
+
+    /// Flush (drains TimeSSD's delta buffers to flash).
+    pub fn flush(&mut self, now: Nanos) -> DriverResult<()> {
+        let e = SubmissionEntry::new(NvmeOpcode::Flush, 0);
+        self.issue(e, now)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use almanac_core::{SsdConfig, TimeSsd};
+    use almanac_flash::{Geometry, SEC_NS};
+
+    fn driver() -> HostDriver {
+        HostDriver::new(NvmeController::new(TimeSsd::new(SsdConfig::new(
+            Geometry::small_test(),
+        ))))
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let mut d = driver();
+        d.write(Lpa(1), b"abc".to_vec(), SEC_NS).unwrap();
+        let page = d.read(Lpa(1), 2 * SEC_NS).unwrap();
+        assert!(page.starts_with(b"abc"));
+    }
+
+    #[test]
+    fn time_travel_through_the_driver() {
+        let mut d = driver();
+        d.write(Lpa(0), b"v1".to_vec(), SEC_NS).unwrap();
+        d.write(Lpa(0), b"v2".to_vec(), 3 * SEC_NS).unwrap();
+        let old = d.addr_query(Lpa(0), 1, 2 * SEC_NS, 4 * SEC_NS).unwrap();
+        assert!(old[0].starts_with(b"v1"));
+        let restored = d.roll_back(Lpa(0), 1, 2 * SEC_NS, 5 * SEC_NS).unwrap();
+        assert_eq!(restored, 1);
+        assert!(d.read(Lpa(0), 6 * SEC_NS).unwrap().starts_with(b"v1"));
+    }
+
+    #[test]
+    fn errors_carry_nvme_status() {
+        let mut d = driver();
+        let err = d.write(Lpa(u64::MAX / 4), vec![0], SEC_NS).unwrap_err();
+        assert!(matches!(err, DriverError::Status { code: 0x0080, .. }));
+    }
+
+    #[test]
+    fn time_query_all_reports_rows() {
+        let mut d = driver();
+        d.write(Lpa(2), b"x".to_vec(), SEC_NS).unwrap();
+        d.write(Lpa(2), b"y".to_vec(), 2 * SEC_NS).unwrap();
+        d.write(Lpa(5), b"z".to_vec(), 3 * SEC_NS).unwrap();
+        let rows = d.time_query_all(4 * SEC_NS).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&(2, 2)));
+        assert!(rows.contains(&(5, 1)));
+    }
+
+    #[test]
+    fn trim_and_flush_work() {
+        let mut d = driver();
+        d.write(Lpa(3), b"gone".to_vec(), SEC_NS).unwrap();
+        d.trim(Lpa(3), 1, 2 * SEC_NS).unwrap();
+        let page = d.read(Lpa(3), 3 * SEC_NS).unwrap();
+        assert!(page.iter().all(|b| *b == 0));
+        d.flush(4 * SEC_NS).unwrap();
+    }
+}

@@ -1,0 +1,74 @@
+//! Trace record types.
+
+use std::fmt;
+use std::str::FromStr;
+
+use almanac_flash::Nanos;
+
+/// The operation of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceOp {
+    /// Page-aligned read.
+    Read,
+    /// Page-aligned write.
+    Write,
+    /// TRIM/discard of the address range.
+    Trim,
+}
+
+impl fmt::Display for TraceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceOp::Read => write!(f, "R"),
+            TraceOp::Write => write!(f, "W"),
+            TraceOp::Trim => write!(f, "T"),
+        }
+    }
+}
+
+impl FromStr for TraceOp {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "R" | "r" | "read" => Ok(TraceOp::Read),
+            "W" | "w" | "write" => Ok(TraceOp::Write),
+            "T" | "t" | "trim" => Ok(TraceOp::Trim),
+            _ => Err(()),
+        }
+    }
+}
+
+/// One block I/O request: `pages` consecutive logical pages starting at
+/// `lpa`, arriving at virtual time `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Arrival time.
+    pub at: Nanos,
+    /// Operation.
+    pub op: TraceOp,
+    /// First logical page of the request.
+    pub lpa: u64,
+    /// Request length in pages (≥ 1).
+    pub pages: u32,
+}
+
+impl TraceRecord {
+    /// Convenience constructor.
+    pub fn new(at: Nanos, op: TraceOp, lpa: u64, pages: u32) -> Self {
+        TraceRecord { at, op, lpa, pages }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_roundtrip_via_strings() {
+        for op in [TraceOp::Read, TraceOp::Write, TraceOp::Trim] {
+            assert_eq!(op.to_string().parse::<TraceOp>().unwrap(), op);
+        }
+        assert!("x".parse::<TraceOp>().is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Trace container, CSV codec, and the paper's prolonging transform.
+
+use std::fmt;
+
+use almanac_flash::Nanos;
+
+use crate::record::{TraceOp, TraceRecord};
+
+/// Errors parsing a trace from its text form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line did not have the four `at,op,lpa,pages` fields.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadLine { line, what } => write!(f, "trace line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A named block I/O trace, sorted by arrival time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Trace name (e.g. `"hm"`, `"webmail"`).
+    pub name: String,
+    /// Records sorted by arrival time.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates a trace, sorting records by arrival time.
+    pub fn new(name: impl Into<String>, mut records: Vec<TraceRecord>) -> Self {
+        records.sort_by_key(|r| r.at);
+        Trace {
+            name: name.into(),
+            records,
+        }
+    }
+
+    /// Virtual duration from first to last arrival.
+    pub fn duration(&self) -> Nanos {
+        match (self.records.first(), self.records.last()) {
+            (Some(a), Some(b)) => b.at - a.at,
+            _ => 0,
+        }
+    }
+
+    /// Total pages written.
+    pub fn write_pages(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.op == TraceOp::Write)
+            .map(|r| r.pages as u64)
+            .sum()
+    }
+
+    /// Total pages read.
+    pub fn read_pages(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.op == TraceOp::Read)
+            .map(|r| r.pages as u64)
+            .sum()
+    }
+
+    /// Fraction of requests that are writes.
+    pub fn write_ratio(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .filter(|r| r.op == TraceOp::Write)
+            .count() as f64
+            / self.records.len() as f64
+    }
+
+    /// Prolongs the trace `times`-fold exactly as §5.2 of the paper: each
+    /// duplicate is appended in time and its logical addresses are shifted
+    /// by a pseudo-random offset (derived from `seed`), modulo `lpa_space`.
+    pub fn prolong(&self, times: u32, lpa_space: u64, seed: u64) -> Trace {
+        let base = self.duration() + 1;
+        let mut out = Vec::with_capacity(self.records.len() * times as usize);
+        let mut state = seed | 1;
+        for rep in 0..times {
+            // Xorshift per repetition for a deterministic address shift.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let shift = if rep == 0 { 0 } else { state % lpa_space };
+            for r in &self.records {
+                out.push(TraceRecord {
+                    at: r.at + rep as u64 * base,
+                    op: r.op,
+                    lpa: (r.lpa + shift) % lpa_space,
+                    pages: r.pages,
+                });
+            }
+        }
+        Trace::new(format!("{}x{}", self.name, times), out)
+    }
+
+    /// Returns a copy with every arrival time shifted by `offset` (used to
+    /// append a measured trace after a warm-up phase).
+    pub fn shifted(&self, offset: Nanos) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            records: self
+                .records
+                .iter()
+                .map(|r| TraceRecord {
+                    at: r.at + offset,
+                    ..*r
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialises to the `at,op,lpa,pages` CSV form (header included).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::with_capacity(self.records.len() * 24 + 32);
+        s.push_str("at,op,lpa,pages\n");
+        for r in &self.records {
+            s.push_str(&format!("{},{},{},{}\n", r.at, r.op, r.lpa, r.pages));
+        }
+        s
+    }
+
+    /// Parses the CSV form produced by [`Trace::to_csv`].
+    pub fn from_csv(name: impl Into<String>, text: &str) -> Result<Trace, TraceError> {
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("at,") || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split(',');
+            let bad = |what| TraceError::BadLine { line: i + 1, what };
+            let at = fields
+                .next()
+                .and_then(|f| f.trim().parse().ok())
+                .ok_or(bad("bad arrival time"))?;
+            let op = fields
+                .next()
+                .and_then(|f| f.trim().parse().ok())
+                .ok_or(bad("bad op"))?;
+            let lpa = fields
+                .next()
+                .and_then(|f| f.trim().parse().ok())
+                .ok_or(bad("bad lpa"))?;
+            let pages = fields
+                .next()
+                .and_then(|f| f.trim().parse().ok())
+                .ok_or(bad("bad page count"))?;
+            records.push(TraceRecord { at, op, lpa, pages });
+        }
+        Ok(Trace::new(name, records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::new(
+            "t",
+            vec![
+                TraceRecord::new(100, TraceOp::Write, 5, 2),
+                TraceRecord::new(0, TraceOp::Read, 1, 1),
+                TraceRecord::new(50, TraceOp::Trim, 2, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn records_sorted_on_construction() {
+        let t = sample();
+        assert!(t.records.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn aggregate_metrics() {
+        let t = sample();
+        assert_eq!(t.duration(), 100);
+        assert_eq!(t.write_pages(), 2);
+        assert_eq!(t.read_pages(), 1);
+        assert!((t.write_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = sample();
+        let parsed = Trace::from_csv("t", &t.to_csv()).unwrap();
+        assert_eq!(parsed.records, t.records);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(Trace::from_csv("x", "1,W\n").is_err());
+        assert!(Trace::from_csv("x", "a,W,1,1\n").is_err());
+    }
+
+    #[test]
+    fn csv_skips_comments_and_header() {
+        let parsed = Trace::from_csv("x", "# comment\nat,op,lpa,pages\n5,W,1,1\n").unwrap();
+        assert_eq!(parsed.records.len(), 1);
+    }
+
+    #[test]
+    fn prolong_multiplies_and_shifts() {
+        let t = sample();
+        let p = t.prolong(3, 1000, 42);
+        assert_eq!(p.records.len(), 9);
+        assert!(p.duration() > t.duration());
+        // First repetition is unshifted.
+        assert_eq!(p.records[0].lpa, 1);
+        // Later repetitions shift addresses but stay in range.
+        assert!(p.records.iter().all(|r| r.lpa < 1000));
+    }
+
+    #[test]
+    fn prolong_is_deterministic() {
+        let t = sample();
+        assert_eq!(t.prolong(5, 100, 7), t.prolong(5, 100, 7));
+        assert_ne!(t.prolong(5, 100, 7).records, t.prolong(5, 100, 8).records);
+    }
+}

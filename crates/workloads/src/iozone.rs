@@ -1,0 +1,145 @@
+//! IOZone-style file-system benchmark (Figure 9a).
+//!
+//! Four phases over one large file: sequential write, sequential read,
+//! random write, random read — all at 4 KiB granularity with random
+//! (incompressible) content, exactly the access pattern IOZone generates.
+
+use almanac_core::SsdDevice;
+use almanac_flash::Nanos;
+use almanac_fs::{AlmanacFs, FsResult};
+use rand::Rng;
+
+use crate::textgen;
+
+/// Throughput of one IOZone phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseResult {
+    /// Phase name (`seq-write`, `seq-read`, `rand-write`, `rand-read`).
+    pub phase: &'static str,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Virtual time consumed.
+    pub elapsed: Nanos,
+}
+
+impl PhaseResult {
+    /// Throughput in MiB per virtual second.
+    pub fn mib_per_sec(&self) -> f64 {
+        if self.elapsed == 0 {
+            return 0.0;
+        }
+        (self.bytes as f64 / (1 << 20) as f64) / (self.elapsed as f64 / 1e9)
+    }
+}
+
+/// Runs the four IOZone phases and returns per-phase results.
+///
+/// `file_kb` is the file size; `random_ops` the number of 4 KiB random
+/// operations per random phase.
+pub fn run<D: SsdDevice>(
+    fs: &mut AlmanacFs<D>,
+    file_kb: u64,
+    random_ops: u64,
+    seed: u64,
+    start: Nanos,
+) -> FsResult<Vec<PhaseResult>> {
+    const CHUNK: u64 = 4096;
+    let mut rng = textgen::rng(seed);
+    let mut results = Vec::with_capacity(4);
+    let (fid, mut t) = fs.create("iozone.tmp", start)?;
+    let file_bytes = file_kb * 1024;
+
+    // Phase 1: sequential write.
+    let begin = t;
+    let mut off = 0;
+    let mut chunk_no = 0u64;
+    while off < file_bytes {
+        let data = textgen::random_bytes(seed ^ chunk_no, CHUNK as usize);
+        t = fs.write(fid, off, &data, t)?;
+        off += CHUNK;
+        chunk_no += 1;
+    }
+    results.push(PhaseResult {
+        phase: "seq-write",
+        bytes: file_bytes,
+        elapsed: t - begin,
+    });
+
+    // Phase 2: sequential read.
+    let begin = t;
+    let mut off = 0;
+    while off < file_bytes {
+        let (_, rt) = fs.read(fid, off, CHUNK, t)?;
+        t = rt;
+        off += CHUNK;
+    }
+    results.push(PhaseResult {
+        phase: "seq-read",
+        bytes: file_bytes,
+        elapsed: t - begin,
+    });
+
+    // Phase 3: random write.
+    let chunks = file_bytes / CHUNK;
+    let begin = t;
+    for i in 0..random_ops {
+        let c = rng.gen_range(0..chunks);
+        let data = textgen::random_bytes(seed ^ (i << 20) ^ c, CHUNK as usize);
+        t = fs.write(fid, c * CHUNK, &data, t)?;
+    }
+    results.push(PhaseResult {
+        phase: "rand-write",
+        bytes: random_ops * CHUNK,
+        elapsed: t - begin,
+    });
+
+    // Phase 4: random read.
+    let begin = t;
+    for _ in 0..random_ops {
+        let c = rng.gen_range(0..chunks);
+        let (_, rt) = fs.read(fid, c * CHUNK, CHUNK, t)?;
+        t = rt;
+    }
+    results.push(PhaseResult {
+        phase: "rand-read",
+        bytes: random_ops * CHUNK,
+        elapsed: t - begin,
+    });
+
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use almanac_core::{RegularSsd, SsdConfig};
+    use almanac_flash::Geometry;
+    use almanac_fs::FsMode;
+
+    #[test]
+    fn four_phases_produce_throughput() {
+        let ssd = RegularSsd::new(SsdConfig::new(Geometry::medium_test()));
+        let mut fs = AlmanacFs::new(ssd, FsMode::Ext4NoJournal).unwrap();
+        let phases = run(&mut fs, 256, 32, 7, 0).unwrap();
+        assert_eq!(phases.len(), 4);
+        for p in &phases {
+            assert!(p.mib_per_sec() > 0.0, "{} had zero throughput", p.phase);
+        }
+        // Reads are faster than writes on flash.
+        assert!(phases[1].mib_per_sec() > phases[0].mib_per_sec());
+    }
+
+    #[test]
+    fn journaling_slows_random_writes() {
+        let mk = |mode| {
+            let ssd = RegularSsd::new(SsdConfig::new(Geometry::medium_test()));
+            AlmanacFs::new(ssd, mode).unwrap()
+        };
+        let mut plain = mk(FsMode::Ext4NoJournal);
+        let mut journaled = mk(FsMode::Ext4DataJournal);
+        let p = run(&mut plain, 128, 64, 1, 0).unwrap();
+        let j = run(&mut journaled, 128, 64, 1, 0).unwrap();
+        let (pw, jw) = (p[2].mib_per_sec(), j[2].mib_per_sec());
+        assert!(pw > 1.5 * jw, "plain {pw} vs journaled {jw}");
+    }
+}

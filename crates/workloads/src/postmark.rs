@@ -1,0 +1,180 @@
+//! PostMark-style mail-server benchmark (Figure 9b).
+//!
+//! PostMark models a mail server: a pool of small files (500 B – 10 KB)
+//! subjected to transactions drawn from {create, delete, read, append}.
+//! Content is realistic compressible text, so TimeSSD's delta compression
+//! sees the 0.12–0.23 ratios the paper reports for real applications.
+
+use almanac_core::SsdDevice;
+use almanac_flash::Nanos;
+use almanac_fs::{AlmanacFs, FileId, FsResult};
+use rand::Rng;
+
+use crate::textgen;
+
+/// Outcome of a PostMark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostmarkReport {
+    /// Transactions executed.
+    pub transactions: u64,
+    /// Virtual time consumed by the transaction phase.
+    pub elapsed: Nanos,
+    /// Bytes written across the whole run.
+    pub bytes_written: u64,
+}
+
+impl PostmarkReport {
+    /// Transactions per virtual second.
+    pub fn tps(&self) -> f64 {
+        if self.elapsed == 0 {
+            return 0.0;
+        }
+        self.transactions as f64 / (self.elapsed as f64 / 1e9)
+    }
+}
+
+/// PostMark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PostmarkConfig {
+    /// Initial number of files.
+    pub initial_files: u64,
+    /// Transactions to run.
+    pub transactions: u64,
+    /// Minimum file size in bytes.
+    pub min_size: u64,
+    /// Maximum file size in bytes.
+    pub max_size: u64,
+}
+
+impl Default for PostmarkConfig {
+    fn default() -> Self {
+        PostmarkConfig {
+            initial_files: 100,
+            transactions: 500,
+            min_size: 500,
+            max_size: 10_240,
+        }
+    }
+}
+
+/// Runs PostMark and reports transaction throughput.
+pub fn run<D: SsdDevice>(
+    fs: &mut AlmanacFs<D>,
+    cfg: PostmarkConfig,
+    seed: u64,
+    start: Nanos,
+) -> FsResult<PostmarkReport> {
+    let mut rng = textgen::rng(seed);
+    let mut t = start;
+    let mut bytes_written = 0u64;
+    let mut files: Vec<FileId> = Vec::new();
+    let mut counter = 0u64;
+
+    // Set-up phase: create the initial file pool.
+    for _ in 0..cfg.initial_files {
+        let size = rng.gen_range(cfg.min_size..=cfg.max_size);
+        let (fid, ct) = fs.create(&format!("mail{counter}"), t)?;
+        counter += 1;
+        let body = textgen::text(seed ^ counter, size as usize);
+        t = fs.write(fid, 0, &body, ct)?;
+        bytes_written += size;
+        files.push(fid);
+    }
+
+    // Transaction phase.
+    let begin = t;
+    for tx in 0..cfg.transactions {
+        match rng.gen_range(0..4) {
+            0 => {
+                // Create.
+                let size = rng.gen_range(cfg.min_size..=cfg.max_size);
+                let (fid, ct) = fs.create(&format!("mail{counter}"), t)?;
+                counter += 1;
+                let body = textgen::text(seed ^ (tx << 32) ^ counter, size as usize);
+                t = fs.write(fid, 0, &body, ct)?;
+                bytes_written += size;
+                files.push(fid);
+            }
+            1 => {
+                // Delete.
+                if files.len() > 2 {
+                    let idx = rng.gen_range(0..files.len());
+                    let fid = files.swap_remove(idx);
+                    t = fs.delete(fid, t)?;
+                }
+            }
+            2 => {
+                // Read whole file.
+                if !files.is_empty() {
+                    let fid = files[rng.gen_range(0..files.len())];
+                    let size = fs.inode(fid)?.size;
+                    if size > 0 {
+                        let (_, rt) = fs.read(fid, 0, size, t)?;
+                        t = rt;
+                    }
+                }
+            }
+            _ => {
+                // Append.
+                if !files.is_empty() {
+                    let fid = files[rng.gen_range(0..files.len())];
+                    let size = fs.inode(fid)?.size;
+                    let add = rng.gen_range(64..2048u64);
+                    let body = textgen::text(seed ^ (tx << 16), add as usize);
+                    t = fs.write(fid, size, &body, t)?;
+                    bytes_written += add;
+                }
+            }
+        }
+    }
+
+    Ok(PostmarkReport {
+        transactions: cfg.transactions,
+        elapsed: t - begin,
+        bytes_written,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use almanac_core::{RegularSsd, SsdConfig};
+    use almanac_flash::Geometry;
+    use almanac_fs::FsMode;
+
+    #[test]
+    fn postmark_completes_with_positive_tps() {
+        let ssd = RegularSsd::new(SsdConfig::new(Geometry::medium_test()));
+        let mut fs = AlmanacFs::new(ssd, FsMode::Ext4NoJournal).unwrap();
+        let report = run(
+            &mut fs,
+            PostmarkConfig {
+                initial_files: 20,
+                transactions: 100,
+                ..Default::default()
+            },
+            1,
+            0,
+        )
+        .unwrap();
+        assert!(report.tps() > 0.0);
+        assert!(report.bytes_written > 0);
+        assert!(fs.file_count() > 0);
+    }
+
+    #[test]
+    fn journaling_reduces_tps() {
+        let cfg = PostmarkConfig {
+            initial_files: 20,
+            transactions: 150,
+            ..Default::default()
+        };
+        let ssd = RegularSsd::new(SsdConfig::new(Geometry::medium_test()));
+        let mut plain = AlmanacFs::new(ssd, FsMode::Ext4NoJournal).unwrap();
+        let p = run(&mut plain, cfg, 1, 0).unwrap();
+        let ssd = RegularSsd::new(SsdConfig::new(Geometry::medium_test()));
+        let mut journaled = AlmanacFs::new(ssd, FsMode::Ext4DataJournal).unwrap();
+        let j = run(&mut journaled, cfg, 1, 0).unwrap();
+        assert!(p.tps() > j.tps());
+    }
+}

@@ -1,0 +1,281 @@
+//! Scripted encryption-ransomware behaviours (Figure 10).
+//!
+//! The paper gathered 13 ransomware samples from VirusTotal and let them
+//! encrypt a victim file set. What matters to the storage layer is each
+//! family's I/O signature: how much data it touches, how fast, whether it
+//! reads files before encrypting them (all encryptors must), and whether it
+//! deletes or overwrites the originals. This module scripts those
+//! behaviours over the file system so both TimeSSD and FlashGuard see the
+//! same attack.
+
+use almanac_core::SsdDevice;
+use almanac_flash::{Lpa, Nanos};
+use almanac_fs::{AlmanacFs, FileId, FsResult};
+
+use crate::textgen;
+
+/// One ransomware family's I/O behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Family {
+    /// Family name as Figure 10 labels it.
+    pub name: &'static str,
+    /// Victim data volume it encrypts, in MiB (scaled-down from real runs).
+    pub victim_mib: u64,
+    /// Encryption throughput in MiB/s (drives the attack duration).
+    pub rate_mib_s: f64,
+    /// Deletes the original files after writing ciphertext copies
+    /// (vs. overwriting in place).
+    pub deletes_originals: bool,
+}
+
+/// The 13 families of Figure 10.
+pub fn families() -> Vec<Family> {
+    vec![
+        Family {
+            name: "Petya",
+            victim_mib: 24,
+            rate_mib_s: 12.0,
+            deletes_originals: false,
+        },
+        Family {
+            name: "CTB-Locker",
+            victim_mib: 16,
+            rate_mib_s: 6.0,
+            deletes_originals: true,
+        },
+        Family {
+            name: "JigSaw",
+            victim_mib: 8,
+            rate_mib_s: 3.0,
+            deletes_originals: true,
+        },
+        Family {
+            name: "Maktub",
+            victim_mib: 12,
+            rate_mib_s: 5.0,
+            deletes_originals: false,
+        },
+        Family {
+            name: "Mobef",
+            victim_mib: 10,
+            rate_mib_s: 4.0,
+            deletes_originals: false,
+        },
+        Family {
+            name: "CryptoWall",
+            victim_mib: 20,
+            rate_mib_s: 8.0,
+            deletes_originals: true,
+        },
+        Family {
+            name: "Locky",
+            victim_mib: 22,
+            rate_mib_s: 10.0,
+            deletes_originals: true,
+        },
+        Family {
+            name: "7ev3n",
+            victim_mib: 6,
+            rate_mib_s: 2.5,
+            deletes_originals: false,
+        },
+        Family {
+            name: "Stampado",
+            victim_mib: 8,
+            rate_mib_s: 3.5,
+            deletes_originals: true,
+        },
+        Family {
+            name: "TeslaCrypt",
+            victim_mib: 18,
+            rate_mib_s: 7.0,
+            deletes_originals: false,
+        },
+        Family {
+            name: "HydraCrypt",
+            victim_mib: 10,
+            rate_mib_s: 4.5,
+            deletes_originals: false,
+        },
+        Family {
+            name: "CryptoFortrress",
+            victim_mib: 9,
+            rate_mib_s: 3.8,
+            deletes_originals: false,
+        },
+        Family {
+            name: "Cerber",
+            victim_mib: 26,
+            rate_mib_s: 11.0,
+            deletes_originals: true,
+        },
+    ]
+}
+
+/// One victim file with its pre-attack layout (what the recovery tooling
+/// would obtain from file-system metadata before/at detection time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VictimFile {
+    /// File id at plant time.
+    pub fid: FileId,
+    /// Pre-attack size in bytes.
+    pub size: u64,
+    /// Pre-attack data-page LPAs in file order.
+    pub lpas: Vec<Lpa>,
+}
+
+/// Result of an attack run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackReport {
+    /// Family name.
+    pub family: &'static str,
+    /// Victim files (in creation order) with their pre-attack layout.
+    pub victims: Vec<VictimFile>,
+    /// When the victim data had been fully written (pre-attack state time).
+    pub pre_attack_time: Nanos,
+    /// When the attack started.
+    pub attack_start: Nanos,
+    /// When the attack finished (ransom note moment).
+    pub attack_end: Nanos,
+    /// Bytes encrypted.
+    pub bytes_encrypted: u64,
+}
+
+const FILE_KIB: u64 = 256;
+
+/// Plants the victim file set and runs the family's attack over it.
+///
+/// Every family follows the encryptor signature: read the file, write
+/// ciphertext (in place or as a copy + delete), at the family's rate.
+pub fn attack<D: SsdDevice>(
+    fs: &mut AlmanacFs<D>,
+    family: Family,
+    seed: u64,
+    start: Nanos,
+) -> FsResult<AttackReport> {
+    let file_bytes = FILE_KIB * 1024;
+    let n_files = (family.victim_mib * 1024 * 1024) / file_bytes;
+    let mut t = start;
+    let mut victims = Vec::new();
+
+    // Plant user data (documents: compressible text).
+    for i in 0..n_files {
+        let (fid, ct) = fs.create(&format!("doc{i}.txt"), t)?;
+        let body = textgen::text(seed ^ i, file_bytes as usize);
+        t = fs.write(fid, 0, &body, ct)?;
+        let (_, lpas, size) = fs.file_map(fid)?;
+        victims.push(VictimFile { fid, size, lpas });
+    }
+    let pre_attack_time = t;
+
+    // The attack begins some time later.
+    let attack_start = t + 60 * 1_000_000_000;
+    let mut at = attack_start;
+    // The family's throughput sets the virtual pacing per file.
+    let ns_per_file = (file_bytes as f64 / (family.rate_mib_s * 1024.0 * 1024.0) * 1e9) as Nanos;
+    let mut bytes_encrypted = 0u64;
+
+    for (i, victim) in victims.iter().enumerate() {
+        let (fid, size) = (victim.fid, victim.size);
+        // Read (the encryptor must see the plaintext).
+        let (plain, rt) = fs.read(fid, 0, size, at)?;
+        let cipher = textgen::encrypt(seed ^ 0xbad ^ i as u64, &plain);
+        let mut ft = rt;
+        if family.deletes_originals {
+            // Write a ciphertext copy, then delete the original.
+            let (copy, ct) = fs.create(&format!("doc{i}.txt.locked"), ft)?;
+            ft = fs.write(copy, 0, &cipher, ct)?;
+            ft = fs.delete(fid, ft)?;
+        } else {
+            // Overwrite in place.
+            ft = fs.write(fid, 0, &cipher, ft)?;
+        }
+        bytes_encrypted += size;
+        at = ft.max(attack_start + (i as u64 + 1) * ns_per_file);
+    }
+
+    Ok(AttackReport {
+        family: family.name,
+        victims,
+        pre_attack_time,
+        attack_start,
+        attack_end: at,
+        bytes_encrypted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use almanac_core::{SsdConfig, TimeSsd};
+    use almanac_flash::Geometry;
+    use almanac_fs::FsMode;
+
+    #[test]
+    fn thirteen_families_defined() {
+        let f = families();
+        assert_eq!(f.len(), 13);
+        assert!(f.iter().any(|x| x.name == "Cerber"));
+        assert!(f.iter().all(|x| x.victim_mib > 0 && x.rate_mib_s > 0.0));
+    }
+
+    #[test]
+    fn attack_encrypts_everything() {
+        let ssd = TimeSsd::new(SsdConfig::new(Geometry::bench()));
+        let mut fs = AlmanacFs::new(ssd, FsMode::Ext4NoJournal).unwrap();
+        let family = Family {
+            name: "tiny",
+            victim_mib: 1,
+            rate_mib_s: 4.0,
+            deletes_originals: false,
+        };
+        let report = attack(&mut fs, family, 7, 0).unwrap();
+        assert_eq!(report.bytes_encrypted, 1024 * 1024);
+        assert!(report.attack_end > report.attack_start);
+        // The file now reads as ciphertext, not the original text.
+        let (fid, size) = (report.victims[0].fid, report.victims[0].size);
+        let (data, _) = fs.read(fid, 0, size, report.attack_end).unwrap();
+        let original = textgen::text(7, size as usize);
+        assert_ne!(data, original);
+    }
+
+    #[test]
+    fn victims_recoverable_from_timessd_after_attack() {
+        let ssd = TimeSsd::new(SsdConfig::new(Geometry::bench()));
+        let mut fs = AlmanacFs::new(ssd, FsMode::Ext4NoJournal).unwrap();
+        let family = Family {
+            name: "tiny-del",
+            victim_mib: 1,
+            rate_mib_s: 4.0,
+            deletes_originals: true,
+        };
+        let report = attack(&mut fs, family, 9, 0).unwrap();
+        // Even though originals were deleted, device-level history survives.
+        let (fid, size) = (report.victims[0].fid, report.victims[0].size);
+        // The file was deleted; its map is gone from the FS, but we saved
+        // nothing — recover through any LPA's version chain instead.
+        assert!(fs.inode(fid).is_err());
+        let ssd = fs.device();
+        // Find some LPA whose pre-attack content matches the original text.
+        let original = textgen::text(9, size as usize);
+        let mut recovered = false;
+        for lpa in 0..ssd.exported_pages() {
+            let chain = ssd.version_chain(almanac_flash::Lpa(lpa));
+            for v in chain {
+                if v.timestamp <= report.pre_attack_time {
+                    if let Ok(content) = ssd.version_content(almanac_flash::Lpa(lpa), v.timestamp) {
+                        let bytes = content.materialize(4096);
+                        if bytes[..64] == original[..64] {
+                            recovered = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if recovered {
+                break;
+            }
+        }
+        assert!(recovered, "pre-attack plaintext unreachable");
+    }
+}

@@ -1,0 +1,16 @@
+//! Project Almanac: a time-traveling solid-state drive.
+//!
+//! Facade crate re-exporting the whole workspace. See the README for an
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+#![warn(missing_docs)]
+
+pub use almanac_bloom as bloom;
+pub use almanac_compress as compress;
+pub use almanac_core as core;
+pub use almanac_flash as flash;
+pub use almanac_fs as fs;
+pub use almanac_kits as kits;
+pub use almanac_nvme as nvme;
+pub use almanac_trace as trace;
+pub use almanac_workloads as workloads;

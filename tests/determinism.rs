@@ -1,0 +1,51 @@
+//! Determinism and reproducibility tests: the whole simulation stack must
+//! be a pure function of its seeds.
+
+use almanac::core::{SsdConfig, TimeSsd};
+use almanac::flash::Geometry;
+use almanac::fs::{AlmanacFs, FsMode};
+use almanac::trace::replay;
+use almanac::workloads::postmark::{self, PostmarkConfig};
+use almanac::workloads::profiles;
+
+#[test]
+fn trace_replay_is_deterministic() {
+    let profile = profiles::profile_by_name("rsrch").unwrap();
+    let run = || {
+        let trace = profile.generate(1, 4096, 11);
+        let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+        replay(&trace, &mut ssd).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn postmark_is_deterministic() {
+    let run = || {
+        let ssd = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+        let mut fs = AlmanacFs::new(ssd, FsMode::Ext4NoJournal).unwrap();
+        let r = postmark::run(
+            &mut fs,
+            PostmarkConfig {
+                initial_files: 10,
+                transactions: 100,
+                ..Default::default()
+            },
+            21,
+            0,
+        )
+        .unwrap();
+        (r.transactions, r.elapsed, r.bytes_written)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let profile = profiles::profile_by_name("hm").unwrap();
+    let a = profile.generate(1, 4096, 1);
+    let b = profile.generate(1, 4096, 2);
+    assert_ne!(a.records, b.records);
+}
