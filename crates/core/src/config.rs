@@ -1,7 +1,7 @@
 //! FTL configuration.
 
 use almanac_bloom::ChainConfig;
-use almanac_flash::{Geometry, LatencyConfig, Nanos, DAY_NS, MS_NS};
+use almanac_flash::{FaultPlan, Geometry, LatencyConfig, Nanos, DAY_NS, MS_NS};
 
 /// Configuration shared by every FTL in this crate.
 ///
@@ -63,6 +63,10 @@ pub struct SsdConfig {
     /// Translation pages the controller can cache (DFTL-style demand
     /// caching of the AMT); `None` keeps the whole table RAM-resident.
     pub amt_cache_pages: Option<usize>,
+    /// Deterministic fault schedule installed into the flash array at
+    /// device construction (power cuts, injected op failures, OOB bit-rot).
+    /// `None` builds a fault-free device.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SsdConfig {
@@ -87,6 +91,7 @@ impl SsdConfig {
             endurance: None,
             retention_key: None,
             amt_cache_pages: None,
+            fault_plan: None,
         }
     }
 
@@ -123,6 +128,12 @@ impl SsdConfig {
     /// Enables retained-data encryption under a user key (§3.10).
     pub fn with_retention_key(mut self, key: u64) -> Self {
         self.retention_key = Some(key);
+        self
+    }
+
+    /// Installs a deterministic fault schedule (see [`FaultPlan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }

@@ -34,6 +34,10 @@ pub enum AlmanacError {
     },
     /// A delta could not be decoded (reference expired or data corrupt).
     DecodeFailed(&'static str),
+    /// An internal bookkeeping invariant did not hold. Surfaced as an error
+    /// rather than a panic so fault-injection runs (power cuts, injected op
+    /// failures) degrade gracefully instead of aborting the process.
+    Internal(&'static str),
 }
 
 impl fmt::Display for AlmanacError {
@@ -55,6 +59,7 @@ impl fmt::Display for AlmanacError {
                 write!(f, "no version of {lpa} found at or before t={at}ns")
             }
             AlmanacError::DecodeFailed(why) => write!(f, "version decode failed: {why}"),
+            AlmanacError::Internal(why) => write!(f, "internal invariant violated: {why}"),
         }
     }
 }

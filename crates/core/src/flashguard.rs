@@ -67,6 +67,9 @@ impl FlashGuardSsd {
         if let Some(e) = config.endurance {
             flash = flash.with_endurance(e);
         }
+        if let Some(plan) = config.fault_plan.clone() {
+            flash = flash.with_fault_plan(plan);
+        }
         let geo = config.geometry;
         FlashGuardSsd {
             flash,

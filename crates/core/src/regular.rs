@@ -49,6 +49,9 @@ impl RegularSsd {
         if let Some(e) = config.endurance {
             flash = flash.with_endurance(e);
         }
+        if let Some(plan) = config.fault_plan.clone() {
+            flash = flash.with_fault_plan(plan);
+        }
         let geo = config.geometry;
         let exported = config.exported_pages();
         let mappings_per_page = (geo.page_size / 8) as u64;

@@ -68,14 +68,25 @@ impl Amt {
         self.entries.is_empty()
     }
 
-    /// Looks up an entry; out-of-range is the caller's bug guarded upstream.
+    /// Looks up an entry. Out-of-range addresses read as `Unmapped`: LPAs
+    /// recovered from flash OOB metadata may be corrupt (bit-rot, ECC
+    /// escapes), and the index must degrade to "no such page" rather than
+    /// panic.
     pub fn get(&self, lpa: Lpa) -> AmtEntry {
-        self.entries[lpa.0 as usize]
+        self.entries
+            .get(lpa.0 as usize)
+            .copied()
+            .unwrap_or(AmtEntry::Unmapped)
     }
 
-    /// Replaces an entry, returning the previous one.
+    /// Replaces an entry, returning the previous one. Out-of-range addresses
+    /// are ignored (and read back as `Unmapped`) for the same reason as
+    /// [`Amt::get`].
     pub fn set(&mut self, lpa: Lpa, entry: AmtEntry) -> AmtEntry {
-        std::mem::replace(&mut self.entries[lpa.0 as usize], entry)
+        match self.entries.get_mut(lpa.0 as usize) {
+            Some(slot) => std::mem::replace(slot, entry),
+            None => AmtEntry::Unmapped,
+        }
     }
 
     /// Iterates over `(lpa, entry)` pairs.
@@ -154,14 +165,17 @@ impl Pvt {
         }
     }
 
-    /// Is the page valid?
+    /// Is the page valid? Out-of-range addresses (e.g. a corrupt OOB
+    /// back-pointer) read as invalid rather than panicking.
     pub fn is_valid(&self, ppa: Ppa) -> bool {
-        self.valid[ppa.0 as usize]
+        self.valid.get(ppa.0 as usize).copied().unwrap_or(false)
     }
 
-    /// Sets validity.
+    /// Sets validity; out-of-range addresses are ignored.
     pub fn set(&mut self, ppa: Ppa, valid: bool) {
-        self.valid[ppa.0 as usize] = valid;
+        if let Some(v) = self.valid.get_mut(ppa.0 as usize) {
+            *v = valid;
+        }
     }
 
     /// Clears every page of a block (on erase).
@@ -188,14 +202,20 @@ impl Prt {
         }
     }
 
-    /// Is the page reclaimable?
+    /// Is the page reclaimable? Out-of-range addresses (e.g. a corrupt OOB
+    /// back-pointer) read as not-reclaimable rather than panicking.
     pub fn is_reclaimable(&self, ppa: Ppa) -> bool {
-        self.reclaimable[ppa.0 as usize]
+        self.reclaimable
+            .get(ppa.0 as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
-    /// Marks a page reclaimable.
+    /// Marks a page reclaimable; out-of-range addresses are ignored.
     pub fn mark(&mut self, ppa: Ppa) {
-        self.reclaimable[ppa.0 as usize] = true;
+        if let Some(r) = self.reclaimable.get_mut(ppa.0 as usize) {
+            *r = true;
+        }
     }
 
     /// Clears every page of a block (on erase).

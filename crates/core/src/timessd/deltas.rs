@@ -100,7 +100,7 @@ impl DeltaManager {
         let open = self
             .active_blocks
             .get_mut(&filter)
-            .expect("just ensured active block");
+            .ok_or(AlmanacError::Internal("delta block reservation vanished"))?;
         let ppa = self.geometry.ppa(open.block.0, open.next_off);
         open.next_off += 1;
         Ok(ppa)
@@ -145,7 +145,10 @@ impl DeltaManager {
                 },
             );
         }
-        let buf = self.buffers.get_mut(&filter).expect("just ensured buffer");
+        let buf = self
+            .buffers
+            .get_mut(&filter)
+            .ok_or(AlmanacError::Internal("delta buffer vanished"))?;
         buf.used += record.size;
         buf.page.deltas.insert(0, record); // newest first within the page
         Ok(AppendOutcome {

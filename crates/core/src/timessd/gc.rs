@@ -199,11 +199,8 @@ impl TimeSsd {
 
         // The oldest new delta links to the existing delta chain if there is
         // one, otherwise to whatever the oldest data version pointed at.
-        let mut next_older: Option<Ppa> = self.imt.head(lpa).map(|(p, _)| p).or(versions
-            .last()
-            .expect("non-empty")
-            .1
-            .back_ptr);
+        let oldest_back = versions.last().and_then(|(_, oob, _)| oob.back_ptr);
+        let mut next_older: Option<Ppa> = self.imt.head(lpa).map(|(p, _)| p).or(oldest_back);
 
         for (ppa, oob, data) in versions.iter().rev() {
             if budget.exhausted() {
@@ -545,17 +542,34 @@ impl TimeSsd {
                 // Move the cold valid page straight onto the worn block.
                 let (data, oob, rt) = self.flash.read(ppa, t)?;
                 t = rt;
+                // Same OOB-owner cross-check as `migrate_valid`: corrupt
+                // metadata must not misdirect the remap.
+                let owner = if self.amt.get(oob.lpa).chain_head() == Some(ppa) {
+                    Some(oob.lpa)
+                } else {
+                    self.amt
+                        .iter()
+                        .find(|(_, e)| e.chain_head() == Some(ppa))
+                        .map(|(l, _)| l)
+                };
                 self.pvt.set(ppa, false);
                 self.bst.get_mut(geo.block_of(ppa)).valid -= 1;
                 let new_ppa = geo.ppa(dest.0, dest_off);
                 dest_off += 1;
-                t = self.flash.program(new_ppa, data, oob, t)?;
+                let fixed_oob = Oob::new(owner.unwrap_or(oob.lpa), oob.back_ptr, oob.timestamp);
+                t = self.flash.program(new_ppa, data, fixed_oob, t)?;
                 let info = self.bst.get_mut(dest);
                 info.written += 1;
                 info.valid += 1;
                 self.pvt.set(new_ppa, true);
-                self.amt.set(oob.lpa, AmtEntry::Mapped(new_ppa));
-                self.gmd.note_update(oob.lpa);
+                if let Some(owner) = owner {
+                    let entry = match self.amt.get(owner) {
+                        AmtEntry::Trimmed(_) => AmtEntry::Trimmed(new_ppa),
+                        _ => AmtEntry::Mapped(new_ppa),
+                    };
+                    self.amt.set(owner, entry);
+                    self.gmd.note_update(owner);
+                }
                 self.stats.wl_programs += 1;
                 continue;
             }

@@ -89,6 +89,12 @@ pub struct TimeSsd {
     pub(crate) map_cache: MapCache,
     /// Erase count at the last wear-leveling attempt (rate limiter).
     pub(crate) wl_mark: u64,
+    /// Repair index built by the §3.7 rebuild scan: every on-flash delta
+    /// record per LPA, newest first. Delta records link through back-pointers
+    /// that may name a delta *buffer* page lost in a power cut; this index
+    /// lets the version chain reconnect across such torn links. Empty on a
+    /// normally-constructed device.
+    pub(crate) recovered_deltas: std::collections::HashMap<Lpa, Vec<(Nanos, Ppa)>>,
 }
 
 impl TimeSsd {
@@ -97,6 +103,9 @@ impl TimeSsd {
         let mut flash = FlashArray::new(config.geometry, config.latency);
         if let Some(e) = config.endurance {
             flash = flash.with_endurance(e);
+        }
+        if let Some(plan) = config.fault_plan.clone() {
+            flash = flash.with_fault_plan(plan);
         }
         let geo = config.geometry;
         let exported = config.exported_pages();
@@ -121,6 +130,7 @@ impl TimeSsd {
             bg_scan_pointless: false,
             map_cache: MapCache::new(mappings_per_page, config.amt_cache_pages),
             wl_mark: 0,
+            recovered_deltas: std::collections::HashMap::new(),
             config,
         }
     }
@@ -133,6 +143,17 @@ impl TimeSsd {
     /// Direct access to the simulated flash (tests and tooling).
     pub fn flash(&self) -> &FlashArray {
         &self.flash
+    }
+
+    /// Consumes the device, surrendering the raw flash array.
+    ///
+    /// This is the §3.7 power-loss handoff: after a cut, everything volatile
+    /// (AMT, IMT, Bloom chain, delta buffers) is gone, and the only thing
+    /// that survives is the flash itself. Call
+    /// [`FlashArray::revive`] on the result, then
+    /// [`TimeSsd::recover_from_flash`] to bring the device back.
+    pub fn into_flash(self) -> FlashArray {
+        self.flash
     }
 
     /// Free blocks currently in the pool.
@@ -241,6 +262,18 @@ impl TimeSsd {
     /// unaffected.
     pub(crate) fn migrate_valid(&mut self, old: Ppa, at: Nanos) -> Result<Nanos> {
         let (data, oob, rt) = self.flash.read(old, at)?;
+        // §3.7 defence: trust the OOB owner only if the AMT agrees. Corrupt
+        // OOB metadata (bit-rot, ECC escapes) must not misdirect the remap —
+        // the RAM-resident AMT is authoritative, so on mismatch recover the
+        // true owner by reverse lookup and write the corrected OOB forward.
+        let owner = if self.amt.get(oob.lpa).chain_head() == Some(old) {
+            Some(oob.lpa)
+        } else {
+            self.amt
+                .iter()
+                .find(|(_, e)| e.chain_head() == Some(old))
+                .map(|(l, _)| l)
+        };
         // The old physical copy ceases to exist; it is not an invalidation
         // in the version-history sense, so it does not enter the Bloom
         // filters.
@@ -256,14 +289,22 @@ impl TimeSsd {
         if let Some(b) = opened {
             self.bst.get_mut(b).kind = BlockKind::Data;
         }
-        let finish = self.flash.program(ppa, data, oob, rt)?;
+        let fixed_oob = Oob::new(owner.unwrap_or(oob.lpa), oob.back_ptr, oob.timestamp);
+        let finish = self.flash.program(ppa, data, fixed_oob, rt)?;
         let block = self.config.geometry.block_of(ppa);
         let info = self.bst.get_mut(block);
         info.written += 1;
         info.valid += 1;
         self.pvt.set(ppa, true);
-        self.amt.set(oob.lpa, AmtEntry::Mapped(ppa));
-        self.gmd.note_update(oob.lpa);
+        if let Some(owner) = owner {
+            // A trimmed head stays trimmed: migration moves bytes, not state.
+            let entry = match self.amt.get(owner) {
+                AmtEntry::Trimmed(_) => AmtEntry::Trimmed(ppa),
+                _ => AmtEntry::Mapped(ppa),
+            };
+            self.amt.set(owner, entry);
+            self.gmd.note_update(owner);
+        }
         Ok(finish)
     }
 

@@ -113,6 +113,7 @@ impl TimeSsd {
         }
 
         let mut tried_imt = false;
+        let mut repair_below = Nanos::MAX;
         let mut steps = 0usize;
         loop {
             steps += 1;
@@ -121,15 +122,42 @@ impl TimeSsd {
             }
             let Some(ppa) = cursor else {
                 // Data chain ended; continue into the delta chain once.
-                if tried_imt {
-                    break;
+                if !tried_imt {
+                    tried_imt = true;
+                    // `<=`, not `<`: the newest compressed version can share
+                    // its timestamp with a still-present data-page head (GC
+                    // compresses the head before the old page is erased; a
+                    // power cut or a rebuild can freeze that state). The
+                    // in-page record filter is strict, so equality never
+                    // duplicates an entry — but skipping the jump would
+                    // orphan the whole delta chain.
+                    cursor = match self.imt.head(lpa) {
+                        Some((page, newest)) if newest <= min_ts => Some(page),
+                        _ => None,
+                    };
+                    if cursor.is_some() {
+                        continue;
+                    }
                 }
-                tried_imt = true;
-                cursor = match self.imt.head(lpa) {
-                    Some((page, newest)) if newest < min_ts => Some(page),
-                    _ => None,
-                };
-                continue;
+                // Torn-link repair (rebuilt devices only): a delta record's
+                // back-pointer may name a buffer page that was lost in the
+                // power cut, orphaning older on-flash records. Reconnect via
+                // the rebuild scan's index, strictly downward in timestamp so
+                // the walk always terminates.
+                let bound = min_ts.min(repair_below);
+                let next = self
+                    .recovered_deltas
+                    .get(&lpa)
+                    .and_then(|list| list.iter().find(|(ts, _)| *ts < bound))
+                    .copied();
+                match next {
+                    Some((ts, page)) => {
+                        repair_below = ts;
+                        cursor = Some(page);
+                        continue;
+                    }
+                    None => break,
+                }
             };
 
             // Delta page (flushed or buffered)?
@@ -143,7 +171,12 @@ impl TimeSsd {
                     .filter(|d| d.lpa == lpa && d.timestamp < min_ts)
                     .max_by_key(|d| d.timestamp);
                 let Some(rec) = best else {
-                    break;
+                    // Stale pointer: the page no longer holds a record for
+                    // this LPA (delta GC re-homed it, or — after a rebuild —
+                    // the back-pointer predates a lost delta buffer). Treat
+                    // it like any broken link and fall back to the IMT head.
+                    cursor = None;
+                    continue;
                 };
                 let buffered = self.deltas.buffered_page(ppa).is_some();
                 out.push(VersionInfo {

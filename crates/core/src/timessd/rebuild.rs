@@ -60,6 +60,7 @@ impl TimeSsd {
         // and collect delta records.
         let mut newest: HashMap<Lpa, (Nanos, Ppa)> = HashMap::new();
         let mut compressed: HashMap<Lpa, Vec<Nanos>> = HashMap::new();
+        let mut recovered_deltas: HashMap<Lpa, Vec<(Nanos, Ppa)>> = HashMap::new();
         let mut delta_blocks: Vec<(u64, u32)> = Vec::new(); // (block, written)
         let mut written_per_block = vec![0u32; geo.total_blocks() as usize];
 
@@ -76,6 +77,10 @@ impl TimeSsd {
                         for rec in &dp.deltas {
                             last_ts = last_ts.max(rec.timestamp);
                             compressed.entry(rec.lpa).or_default().push(rec.timestamp);
+                            recovered_deltas
+                                .entry(rec.lpa)
+                                .or_default()
+                                .push((rec.timestamp, ppa));
                             match imt.head(rec.lpa) {
                                 Some((_, ts)) if ts >= rec.timestamp => {}
                                 _ => imt.set_head(rec.lpa, ppa, rec.timestamp),
@@ -171,6 +176,13 @@ impl TimeSsd {
             }
         }
 
+        // Newest first, so torn-chain repair during traversal can scan for
+        // the next record strictly older than the break point.
+        for list in recovered_deltas.values_mut() {
+            list.sort_unstable_by_key(|&(ts, _)| std::cmp::Reverse(ts));
+            list.dedup_by_key(|(ts, _)| *ts);
+        }
+
         let mut deltas = DeltaManager::new(geo);
         // Re-associate surviving delta blocks with the rebuild segment so
         // dropping it later erases them.
@@ -198,6 +210,7 @@ impl TimeSsd {
             bg_scan_pointless: false,
             map_cache: crate::mapcache::MapCache::new(mappings_per_page, config.amt_cache_pages),
             wl_mark: 0,
+            recovered_deltas,
             config,
         }
     }

@@ -1,0 +1,211 @@
+//! Property tests of the time-travel index under GC pressure.
+//!
+//! Unlike `model_check.rs` (which avoids GC so every version stays
+//! retrievable), these sequences deliberately run a tiny geometry with heavy
+//! overwrites so garbage collection, delta compression, and filter rotation
+//! interleave with host I/O. Under *any* such interleaving the per-LPA
+//! version chain must keep its structural invariants: the head first, every
+//! entry owned by the queried LPA, strictly decreasing timestamps, and no
+//! timestamp the host never committed.
+
+use std::collections::{HashMap, HashSet};
+
+use almanac_core::{AlmanacError, SsdConfig, SsdDevice, TimeSsd};
+use almanac_flash::{Geometry, Lpa, Nanos, PageData, SEC_NS};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { lpa: u64 },
+    Trim { lpa: u64 },
+    Flush,
+    /// Jump virtual time forward, opening an idle window for background
+    /// compression.
+    Idle,
+}
+
+fn op_strategy(lpa_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        10 => (0..lpa_space).prop_map(|lpa| Op::Write { lpa }),
+        2 => (0..lpa_space).prop_map(|lpa| Op::Trim { lpa }),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Idle),
+    ]
+}
+
+fn small_config() -> SsdConfig {
+    let mut cfg = SsdConfig::new(Geometry::small_test());
+    // Tiny filters: rotations happen within a short op sequence.
+    cfg.bloom.capacity = 16;
+    cfg
+}
+
+/// Asserts the structural chain invariants for one LPA. `committed` holds
+/// every timestamp the host ever got acknowledged for this LPA.
+fn assert_chain_invariants(
+    ssd: &TimeSsd,
+    lpa: u64,
+    committed: &HashSet<Nanos>,
+) -> Result<(), TestCaseError> {
+    let chain = ssd.version_chain(Lpa(lpa));
+    for (i, v) in chain.iter().enumerate() {
+        prop_assert_eq!(v.lpa, Lpa(lpa), "entry owned by a different LPA");
+        prop_assert!(
+            !v.is_head || i == 0,
+            "head not first in chain of L{}",
+            lpa
+        );
+        prop_assert!(
+            committed.contains(&v.timestamp),
+            "L{} chain invented timestamp {} the host never committed",
+            lpa,
+            v.timestamp
+        );
+    }
+    for w in chain.windows(2) {
+        prop_assert!(
+            w[0].timestamp > w[1].timestamp,
+            "L{} chain not strictly decreasing: {} then {}",
+            lpa,
+            w[0].timestamp,
+            w[1].timestamp
+        );
+    }
+    Ok(())
+}
+
+/// Applies an op sequence, recording committed timestamps. Stops early if
+/// the device stalls (legitimate under §3.4 retention pressure).
+fn apply(
+    ssd: &mut TimeSsd,
+    ops: &[Op],
+    committed: &mut HashMap<u64, HashSet<Nanos>>,
+) -> Result<(), TestCaseError> {
+    let mut now = SEC_NS;
+    let mut version = 1u64;
+    for op in ops {
+        let result = match op {
+            Op::Write { lpa } => {
+                let r = ssd.write(
+                    Lpa(*lpa),
+                    PageData::Synthetic {
+                        seed: *lpa,
+                        version,
+                    },
+                    now,
+                );
+                if let Ok(c) = &r {
+                    committed.entry(*lpa).or_default().insert(c.start);
+                }
+                version += 1;
+                r
+            }
+            Op::Trim { lpa } => ssd.trim(Lpa(*lpa), now),
+            Op::Flush => ssd.flush_buffers(now).map(|t| almanac_core::Completion {
+                start: now,
+                finish: t,
+            }),
+            Op::Idle => {
+                now += 500 * SEC_NS;
+                continue;
+            }
+        };
+        match result {
+            Ok(c) => now = c.finish + 20_000,
+            // Free space exhausted inside the retention guarantee: the
+            // device refuses I/O by design. Invariants must still hold.
+            Err(AlmanacError::DeviceStalled { .. }) => break,
+            Err(e) => prop_assert!(false, "unexpected device error: {}", e),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chain_invariants_hold_under_gc_interleavings(
+        ops in proptest::collection::vec(op_strategy(12), 1..160),
+    ) {
+        let mut ssd = TimeSsd::new(small_config());
+        let mut committed: HashMap<u64, HashSet<Nanos>> = HashMap::new();
+        apply(&mut ssd, &ops, &mut committed)?;
+        let empty = HashSet::new();
+        for lpa in 0..12 {
+            assert_chain_invariants(&ssd, lpa, committed.get(&lpa).unwrap_or(&empty))?;
+        }
+        let audit = ssd.check_consistency();
+        prop_assert!(audit.is_clean(), "audit violations: {:?}", audit.violations);
+    }
+
+    #[test]
+    fn chains_survive_rebuild_under_gc_interleavings(
+        ops in proptest::collection::vec(op_strategy(10), 1..120),
+    ) {
+        let mut ssd = TimeSsd::new(small_config());
+        let mut committed: HashMap<u64, HashSet<Nanos>> = HashMap::new();
+        apply(&mut ssd, &ops, &mut committed)?;
+        // Power-cycle through the §3.7 scan; structural invariants must
+        // survive the round-trip (buffered deltas are legitimately lost).
+        let rebuilt = TimeSsd::recover_from_flash(ssd.into_flash(), small_config());
+        let empty = HashSet::new();
+        for lpa in 0..10 {
+            assert_chain_invariants(&rebuilt, lpa, committed.get(&lpa).unwrap_or(&empty))?;
+        }
+        let audit = rebuilt.check_consistency();
+        prop_assert!(audit.is_clean(), "audit violations: {:?}", audit.violations);
+    }
+
+    #[test]
+    fn head_tracks_last_committed_write(
+        ops in proptest::collection::vec(op_strategy(8), 1..100),
+    ) {
+        let mut ssd = TimeSsd::new(small_config());
+        let mut now = SEC_NS;
+        let mut version = 1u64;
+        // Last acknowledged state per LPA: Some(content) or None after trim.
+        let mut latest: HashMap<u64, Option<PageData>> = HashMap::new();
+        for op in &ops {
+            let result = match op {
+                Op::Write { lpa } => {
+                    let data = PageData::Synthetic { seed: *lpa, version };
+                    version += 1;
+                    let r = ssd.write(Lpa(*lpa), data.clone(), now);
+                    if r.is_ok() {
+                        latest.insert(*lpa, Some(data));
+                    }
+                    r
+                }
+                Op::Trim { lpa } => {
+                    let r = ssd.trim(Lpa(*lpa), now);
+                    if r.is_ok() {
+                        latest.insert(*lpa, None);
+                    }
+                    r
+                }
+                Op::Flush | Op::Idle => {
+                    now += 500 * SEC_NS;
+                    continue;
+                }
+            };
+            match result {
+                Ok(c) => now = c.finish + 20_000,
+                Err(AlmanacError::DeviceStalled { .. }) => break,
+                Err(e) => prop_assert!(false, "unexpected device error: {}", e),
+            }
+        }
+        for (lpa, want) in &latest {
+            match want {
+                Some(data) => {
+                    let (got, _) = ssd.read(Lpa(*lpa), now).unwrap();
+                    prop_assert_eq!(&got, data, "L{} head diverged", lpa);
+                }
+                None => {
+                    let (got, _) = ssd.read(Lpa(*lpa), now).unwrap();
+                    prop_assert_eq!(&got, &PageData::Zeros, "L{} not zero after trim", lpa);
+                }
+            }
+        }
+    }
+}

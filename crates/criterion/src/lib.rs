@@ -1,0 +1,165 @@
+//! Tiny wall-clock micro-benchmark harness exposing the subset of the
+//! `criterion` crate API this workspace uses (`Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros).
+//!
+//! The build environment has no access to crates.io, so the workspace maps
+//! the `criterion` dev-dependency name onto this crate. There is no
+//! statistics engine: each benchmark warms up briefly, then reports the
+//! best-of-run mean over a fixed measurement window. Good enough to compare
+//! hot paths release-to-release; not a substitute for real criterion.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation attached to a group (printed, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    measured: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: a few calls outside the measurement.
+        for _ in 0..8 {
+            black_box(f());
+        }
+        let budget = Duration::from_millis(120);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            for _ in 0..64 {
+                black_box(f());
+            }
+            iters += 64;
+        }
+        self.measured = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark and prints its per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            measured: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.measured / b.iters as u32
+        };
+        let rate = match (self.throughput, per_iter.as_nanos()) {
+            (Some(Throughput::Bytes(n)), ns) if ns > 0 => {
+                format!(
+                    "  {:.1} MiB/s",
+                    n as f64 / (ns as f64 / 1e9) / (1024.0 * 1024.0)
+                )
+            }
+            (Some(Throughput::Elements(n)), ns) if ns > 0 => {
+                format!("  {:.0} elem/s", n as f64 / (ns as f64 / 1e9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{:<32} {:>12.3?}/iter ({} iters){rate}",
+            self.name, id, per_iter, b.iters
+        );
+        self
+    }
+
+    /// Ends the group (separator line).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("main").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark main function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` may execute harness-less bench binaries with
+            // `--test`; match criterion's behaviour and exit immediately.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        g.finish();
+    }
+}

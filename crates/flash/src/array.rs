@@ -2,6 +2,7 @@
 
 use crate::addr::{BlockId, Nanos, Ppa};
 use crate::error::{FlashError, FlashResult};
+use crate::fault::{FaultPlan, FlashOp};
 use crate::geometry::Geometry;
 use crate::latency::LatencyConfig;
 use crate::page::{Oob, PageData};
@@ -108,6 +109,14 @@ pub struct FlashArray {
     stats: FlashStats,
     /// Erase endurance per block; `None` disables wear-out failures.
     endurance: Option<u32>,
+    /// Active fault schedule; `None` = fault-free device.
+    fault_plan: Option<FaultPlan>,
+    /// Total ops issued (reads + programs + erases that passed validity).
+    ops_issued: u64,
+    /// Per-class op counters, for targeted fault indices.
+    class_issued: [u64; 3],
+    /// Set once a scheduled power cut fires; cleared by [`Self::revive`].
+    powered_off: bool,
 }
 
 impl FlashArray {
@@ -123,6 +132,10 @@ impl FlashArray {
             chip_busy: vec![0; geometry.total_chips() as usize],
             stats: FlashStats::default(),
             endurance: None,
+            fault_plan: None,
+            ops_issued: 0,
+            class_issued: [0; 3],
+            powered_off: false,
         }
     }
 
@@ -130,6 +143,71 @@ impl FlashArray {
     pub fn with_endurance(mut self, cycles: u32) -> Self {
         self.endurance = Some(cycles);
         self
+    }
+
+    /// Attaches a deterministic fault schedule (see [`FaultPlan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Total operations issued so far (reads + programs + erases that
+    /// passed validity checks). The unit in which `FaultPlan::power_cut_at`
+    /// is expressed.
+    pub fn ops_issued(&self) -> u64 {
+        self.ops_issued
+    }
+
+    /// True after a scheduled power cut has fired and before [`Self::revive`].
+    pub fn powered_off(&self) -> bool {
+        self.powered_off
+    }
+
+    /// Restores power after a cut.
+    ///
+    /// The scheduled cut is consumed (it will not re-fire), but any
+    /// remaining op faults and OOB rot stay armed. Volatile device state
+    /// (mapping tables, buffers) is the FTL's problem — flash contents
+    /// survive exactly as they were at the instant of the cut, and the FTL
+    /// must rebuild from the on-flash metadata.
+    pub fn revive(&mut self) {
+        self.powered_off = false;
+        if let Some(plan) = &mut self.fault_plan {
+            plan.power_cut_at = None;
+        }
+    }
+
+    /// Gate run at the head of each op: counts it, fires a scheduled power
+    /// cut or injected fault. Failed-by-injection ops advance the counters
+    /// (they were issued) but leave array state and timing untouched.
+    fn fault_gate(&mut self, op: FlashOp) -> FlashResult<()> {
+        if self.powered_off {
+            return Err(FlashError::PowerLoss);
+        }
+        let at_op = self.ops_issued;
+        self.ops_issued += 1;
+        let class = match op {
+            FlashOp::Read => 0,
+            FlashOp::Program => 1,
+            FlashOp::Erase => 2,
+        };
+        let nth = self.class_issued[class];
+        self.class_issued[class] += 1;
+        if let Some(plan) = &self.fault_plan {
+            if plan.power_cut_at.is_some_and(|cut| at_op >= cut) {
+                self.powered_off = true;
+                return Err(FlashError::PowerLoss);
+            }
+            if let Some(kind) = plan.fault_for(op, nth) {
+                return Err(FlashError::Injected { kind, at_op });
+            }
+        }
+        Ok(())
     }
 
     /// The array geometry.
@@ -164,16 +242,24 @@ impl FlashArray {
     }
 
     /// Reads a programmed page, returning data, OOB, and completion time.
+    ///
+    /// With a fault plan attached the read may fail with `PowerLoss` or an
+    /// injected uncorrectable-ECC error, and the returned OOB may carry
+    /// deterministic bit-rot (the stored page is never modified).
     pub fn read(&mut self, ppa: Ppa, now: Nanos) -> FlashResult<(PageData, Oob, Nanos)> {
         self.check_ppa(ppa)?;
         let block = self.geometry.block_of(ppa);
         let off = self.geometry.page_offset(ppa) as usize;
-        let page = &self.blocks[block.0 as usize].pages[off];
-        if page.state == PageState::Free {
+        if self.blocks[block.0 as usize].pages[off].state == PageState::Free {
             return Err(FlashError::ReadFree(ppa));
         }
+        self.fault_gate(FlashOp::Read)?;
+        let page = &self.blocks[block.0 as usize].pages[off];
         let data = page.data.clone();
-        let oob = page.oob.expect("written page always has OOB");
+        let mut oob = page.oob.expect("written page always has OOB");
+        if let Some(plan) = &self.fault_plan {
+            oob = plan.rot_oob(ppa, oob);
+        }
         let chip = self.geometry.chip_of_ppa(ppa);
         let finish = self.occupy_chip(chip, now, self.latency.read_total());
         self.stats.reads += 1;
@@ -183,8 +269,10 @@ impl FlashArray {
     /// Inspects a page without advancing time or counters.
     ///
     /// Used by host-side tooling to validate simulator state in tests; the
-    /// FTL itself always pays for its reads.
-    pub fn peek(&self, ppa: Ppa) -> FlashResult<(&PageData, &Oob)> {
+    /// FTL itself always pays for its reads. Peek ignores power state and
+    /// transient op faults (it is not a device command) but still sees OOB
+    /// bit-rot — corruption lives in the cells, not in the command path.
+    pub fn peek(&self, ppa: Ppa) -> FlashResult<(&PageData, Oob)> {
         self.check_ppa(ppa)?;
         let block = self.geometry.block_of(ppa);
         let off = self.geometry.page_offset(ppa) as usize;
@@ -192,7 +280,11 @@ impl FlashArray {
         if page.state == PageState::Free {
             return Err(FlashError::ReadFree(ppa));
         }
-        Ok((&page.data, page.oob.as_ref().expect("written page has OOB")))
+        let mut oob = page.oob.expect("written page always has OOB");
+        if let Some(plan) = &self.fault_plan {
+            oob = plan.rot_oob(ppa, oob);
+        }
+        Ok((&page.data, oob))
     }
 
     /// Returns the state of a page without touching timing.
@@ -214,16 +306,22 @@ impl FlashArray {
         self.check_ppa(ppa)?;
         let block_id = self.geometry.block_of(ppa);
         let off = self.geometry.page_offset(ppa);
+        {
+            let block = &self.blocks[block_id.0 as usize];
+            if block.pages[off as usize].state == PageState::Written {
+                return Err(FlashError::ProgramWritten(ppa));
+            }
+            if off != block.write_ptr {
+                return Err(FlashError::NonSequentialProgram {
+                    ppa,
+                    expected_offset: block.write_ptr,
+                });
+            }
+        }
+        // A cut or injected failure at this index aborts atomically: the
+        // page stays free (a torn page would fail ECC and read as free).
+        self.fault_gate(FlashOp::Program)?;
         let block = &mut self.blocks[block_id.0 as usize];
-        if block.pages[off as usize].state == PageState::Written {
-            return Err(FlashError::ProgramWritten(ppa));
-        }
-        if off != block.write_ptr {
-            return Err(FlashError::NonSequentialProgram {
-                ppa,
-                expected_offset: block.write_ptr,
-            });
-        }
         block.pages[off as usize] = Page {
             state: PageState::Written,
             data,
@@ -241,12 +339,13 @@ impl FlashArray {
         if !self.geometry.contains_block(block_id) {
             return Err(FlashError::BadBlock(block_id));
         }
-        let block = &mut self.blocks[block_id.0 as usize];
         if let Some(limit) = self.endurance {
-            if block.erase_count >= limit {
+            if self.blocks[block_id.0 as usize].erase_count >= limit {
                 return Err(FlashError::WornOut(block_id));
             }
         }
+        self.fault_gate(FlashOp::Erase)?;
+        let block = &mut self.blocks[block_id.0 as usize];
         for page in &mut block.pages {
             *page = Page::free();
         }
@@ -284,6 +383,39 @@ impl FlashArray {
         self.chip_busy.iter().copied().max().unwrap_or(0)
     }
 
+    /// A 64-bit FNV-1a digest of the persistent device state: every block's
+    /// write pointer, erase count, and the contents + OOB of every written
+    /// page.
+    ///
+    /// Two identically-seeded runs that issued the same op sequence produce
+    /// byte-identical flash state and therefore equal digests; any
+    /// divergence in what actually hit the cells shows up here. Volatile
+    /// state (timing horizons, stats, fault bookkeeping) is excluded so the
+    /// digest survives a power cut + revive unchanged.
+    pub fn state_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for block in &self.blocks {
+            eat(&block.write_ptr.to_le_bytes());
+            eat(&block.erase_count.to_le_bytes());
+            for page in &block.pages {
+                if page.state == PageState::Written {
+                    // Debug output is a pure function of the stored value,
+                    // which is all the digest needs.
+                    eat(format!("{:?}|{:?};", page.data, page.oob).as_bytes());
+                }
+            }
+        }
+        h
+    }
+
     /// Spread (max - min) of erase counts across all blocks — the wear
     /// imbalance metric used by wear-leveling tests.
     pub fn wear_spread(&self) -> u32 {
@@ -297,6 +429,7 @@ impl FlashArray {
 mod tests {
     use super::*;
     use crate::addr::Lpa;
+    use crate::fault::InjectedKind;
 
     fn fixture() -> FlashArray {
         FlashArray::new(Geometry::small_test(), LatencyConfig::default())
@@ -423,6 +556,99 @@ mod tests {
         let _ = f.peek(ppa).unwrap();
         assert_eq!(*f.stats(), before);
         assert_eq!(f.chip_busy_until(0), busy);
+    }
+
+    #[test]
+    fn power_cut_kills_device_until_revive() {
+        let mut f = FlashArray::new(Geometry::small_test(), LatencyConfig::default())
+            .with_fault_plan(FaultPlan::new(1).with_power_cut_at(2));
+        let g = *f.geometry();
+        f.program(g.ppa(0, 0), PageData::Zeros, oob(0), 0).unwrap();
+        f.program(g.ppa(0, 1), PageData::Zeros, oob(1), 0).unwrap();
+        // Op index 2 hits the cut; the page is NOT programmed (atomic abort).
+        assert_eq!(
+            f.program(g.ppa(0, 2), PageData::Zeros, oob(2), 0),
+            Err(FlashError::PowerLoss)
+        );
+        assert!(f.powered_off());
+        assert_eq!(f.page_state(g.ppa(0, 2)).unwrap(), PageState::Free);
+        // Everything fails while dead, including reads and erases.
+        assert_eq!(f.read(g.ppa(0, 0), 0), Err(FlashError::PowerLoss));
+        assert_eq!(f.erase(BlockId(1), 0), Err(FlashError::PowerLoss));
+        // Power restored: pre-cut state intact, device usable again.
+        f.revive();
+        assert!(!f.powered_off());
+        let (_, meta, _) = f.read(g.ppa(0, 1), 0).unwrap();
+        assert_eq!(meta.lpa, Lpa(1));
+        f.program(g.ppa(0, 2), PageData::Zeros, oob(2), 0).unwrap();
+    }
+
+    #[test]
+    fn injected_op_faults_fire_once_at_exact_index() {
+        let mut f = FlashArray::new(Geometry::small_test(), LatencyConfig::default())
+            .with_fault_plan(FaultPlan::new(1).with_program_fault(1).with_read_fault(0));
+        let g = *f.geometry();
+        f.program(g.ppa(0, 0), PageData::Zeros, oob(0), 0).unwrap();
+        // Program #1 fails and leaves the page free.
+        let err = f.program(g.ppa(0, 1), PageData::Zeros, oob(1), 0).unwrap_err();
+        assert!(matches!(
+            err,
+            FlashError::Injected {
+                kind: InjectedKind::ProgramFail,
+                ..
+            }
+        ));
+        assert_eq!(f.page_state(g.ppa(0, 1)).unwrap(), PageState::Free);
+        // Retrying is a new op index, so it succeeds.
+        f.program(g.ppa(0, 1), PageData::Zeros, oob(1), 0).unwrap();
+        // Read #0 fails, read #1 succeeds.
+        assert!(matches!(
+            f.read(g.ppa(0, 0), 0),
+            Err(FlashError::Injected {
+                kind: InjectedKind::ReadUncorrectable,
+                ..
+            })
+        ));
+        f.read(g.ppa(0, 0), 0).unwrap();
+    }
+
+    #[test]
+    fn oob_rot_corrupts_read_and_peek_but_not_cells() {
+        let mut f = FlashArray::new(Geometry::small_test(), LatencyConfig::default())
+            .with_fault_plan(FaultPlan::new(9).with_oob_rot(1000));
+        let g = *f.geometry();
+        let ppa = g.ppa(0, 0);
+        let clean = Oob::new(Lpa(5), Some(g.ppa(1, 0)), 777);
+        f.program(ppa, PageData::Zeros, clean, 0).unwrap();
+        let (_, rotted, _) = f.read(ppa, 0).unwrap();
+        assert_ne!(rotted, clean);
+        // Rot is stable and identical through both access paths.
+        let (_, peeked) = f.peek(ppa).unwrap();
+        assert_eq!(peeked, rotted);
+        let (_, again, _) = f.read(ppa, 0).unwrap();
+        assert_eq!(again, rotted);
+        // The cells themselves are pristine: digest matches a fault-free
+        // device that executed the same programs.
+        let mut clean_dev = FlashArray::new(g, LatencyConfig::default());
+        clean_dev.program(ppa, PageData::Zeros, clean, 0).unwrap();
+        assert_eq!(f.state_digest(), clean_dev.state_digest());
+    }
+
+    #[test]
+    fn digest_tracks_persistent_state_only() {
+        let mut a = fixture();
+        let mut b = fixture();
+        let g = *a.geometry();
+        assert_eq!(a.state_digest(), b.state_digest());
+        a.program(g.ppa(0, 0), PageData::bytes(vec![1, 2]), oob(4), 0)
+            .unwrap();
+        assert_ne!(a.state_digest(), b.state_digest());
+        b.program(g.ppa(0, 0), PageData::bytes(vec![1, 2]), oob(4), 0)
+            .unwrap();
+        assert_eq!(a.state_digest(), b.state_digest());
+        // Reads move time and stats but never the digest.
+        a.read(g.ppa(0, 0), 0).unwrap();
+        assert_eq!(a.state_digest(), b.state_digest());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::addr::{BlockId, Ppa};
+use crate::fault::InjectedKind;
 
 /// Errors raised by the flash array simulator.
 ///
@@ -28,6 +29,15 @@ pub enum FlashError {
     ReadFree(Ppa),
     /// The block exceeded its erase endurance budget.
     WornOut(BlockId),
+    /// Power was cut; the device is offline until revived and rebuilt.
+    PowerLoss,
+    /// A scheduled fault from the active `FaultPlan` fired.
+    Injected {
+        /// The class-specific failure that was injected.
+        kind: InjectedKind,
+        /// Global op index (`FlashArray::ops_issued`) at which it fired.
+        at_op: u64,
+    },
 }
 
 impl fmt::Display for FlashError {
@@ -47,6 +57,10 @@ impl fmt::Display for FlashError {
             ),
             FlashError::ReadFree(p) => write!(f, "read of free (unprogrammed) page {p}"),
             FlashError::WornOut(b) => write!(f, "block {b} exceeded erase endurance"),
+            FlashError::PowerLoss => write!(f, "device lost power"),
+            FlashError::Injected { kind, at_op } => {
+                write!(f, "injected fault {kind:?} at op {at_op}")
+            }
         }
     }
 }

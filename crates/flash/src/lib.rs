@@ -34,6 +34,7 @@
 mod addr;
 mod array;
 mod error;
+mod fault;
 mod geometry;
 mod latency;
 mod page;
@@ -42,6 +43,7 @@ mod stats;
 pub use addr::{BlockId, Lpa, Nanos, Ppa, DAY_NS, HOUR_NS, MINUTE_NS, MS_NS, SEC_NS, US_NS};
 pub use array::{Block, BlockState, FlashArray, Page, PageState};
 pub use error::{FlashError, FlashResult};
+pub use fault::{FaultPlan, FlashOp, InjectedKind, OpFault};
 pub use geometry::Geometry;
 pub use latency::LatencyConfig;
 pub use page::{DeltaBody, DeltaPage, DeltaRecord, Oob, PageData};

@@ -195,16 +195,15 @@ impl<'a> TimeKits<'a> {
         let mut results: Vec<(Vec<TimeQueryHit>, QueryCost)> = if threads <= 1 {
             vec![scan_shard(0)]
         } else {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
-                    .map(|s| scope.spawn(move |_| scan_shard(s)))
+                    .map(|s| scope.spawn(move || scan_shard(s)))
                     .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("query worker panicked"))
                     .collect()
             })
-            .expect("query scope panicked")
         };
 
         let mut cost = self.new_cost();
