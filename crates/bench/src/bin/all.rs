@@ -1,14 +1,29 @@
-//! Regenerates every table and figure in one run (Figures 6-11, Table 3).
+//! Regenerates every table and figure in one run (Figures 6-11, Table 3),
+//! running the replay grids of Figures 6/7/8 and Table 3 on the parallel
+//! experiment pool (`ALMANAC_JOBS` workers) and emitting the machine-
+//! readable wall-clock report `BENCH_all.json`.
 
+use almanac_bench::engine::timed;
+use almanac_bench::report::{BenchReport, FigureRecord};
 use almanac_bench::{fast_mode, fig10, fig11, fig6_7, fig8, fig9, table3};
 use almanac_workloads::{fiu_profiles, msr_profiles};
 
+const SEED: u64 = 42;
+
 fn main() {
+    let mut report = BenchReport::new("all", SEED);
+
     let days = if fast_mode() { 2 } else { 7 };
     for usage in [0.5, 0.8] {
-        let rows = fig6_7::run(usage, days, 42);
+        let t = timed(|| fig6_7::run_with_timings(usage, days, SEED));
+        let (rows, cells) = t.value;
         fig6_7::print_fig6(usage, &rows);
         fig6_7::print_fig7(usage, &rows);
+        report.push_figure(FigureRecord {
+            name: format!("fig6_7@u{:.0}", usage * 100.0),
+            wall_ms: t.wall_ms,
+            cells,
+        });
     }
 
     let (msr_lengths, fiu_lengths): (Vec<u32>, Vec<u32>) = if fast_mode() {
@@ -17,24 +32,67 @@ fn main() {
         (vec![28, 42, 56, 63], vec![20, 30, 40])
     };
     for usage in [0.8, 0.5] {
-        fig8::run_and_print("MSR", &msr_profiles(), usage, &msr_lengths, 42);
-        fig8::run_and_print("FIU", &fiu_profiles(), usage, &fiu_lengths, 42);
+        let t = timed(|| {
+            let (_, msr_cells) =
+                fig8::run_and_print_timed("MSR", &msr_profiles(), usage, &msr_lengths, SEED);
+            let (_, fiu_cells) =
+                fig8::run_and_print_timed("FIU", &fiu_profiles(), usage, &fiu_lengths, SEED);
+            let mut cells = msr_cells;
+            cells.extend(fiu_cells);
+            cells
+        });
+        report.push_figure(FigureRecord {
+            name: format!("fig8@u{:.0}", usage * 100.0),
+            wall_ms: t.wall_ms,
+            cells: t.value,
+        });
     }
 
-    let a = fig9::run_fig9a(42);
-    fig9::print_panel("Figure 9a: IOZone (normalized speedup over Ext4)", &a);
-    let b = fig9::run_fig9b(42);
-    fig9::print_panel(
-        "Figure 9b: PostMark and OLTP (normalized speedup over Ext4)",
-        &b,
-    );
+    let t = timed(|| {
+        let a = fig9::run_fig9a(SEED);
+        fig9::print_panel("Figure 9a: IOZone (normalized speedup over Ext4)", &a);
+        let b = fig9::run_fig9b(SEED);
+        fig9::print_panel(
+            "Figure 9b: PostMark and OLTP (normalized speedup over Ext4)",
+            &b,
+        );
+    });
+    report.push_figure(FigureRecord {
+        name: "fig9".into(),
+        wall_ms: t.wall_ms,
+        cells: Vec::new(),
+    });
 
-    let rows = fig10::run(42);
-    fig10::print(&rows);
+    let t = timed(|| {
+        let rows = fig10::run(SEED);
+        fig10::print(&rows);
+    });
+    report.push_figure(FigureRecord {
+        name: "fig10".into(),
+        wall_ms: t.wall_ms,
+        cells: Vec::new(),
+    });
 
-    let rows = fig11::run(42);
-    fig11::print(&rows);
+    let t = timed(|| {
+        let rows = fig11::run(SEED);
+        fig11::print(&rows);
+    });
+    report.push_figure(FigureRecord {
+        name: "fig11".into(),
+        wall_ms: t.wall_ms,
+        cells: Vec::new(),
+    });
 
-    let rows = table3::run(42);
-    table3::print(&rows);
+    let t = timed(|| {
+        let (rows, cells) = table3::run_with_timings(SEED);
+        table3::print(&rows);
+        cells
+    });
+    report.push_figure(FigureRecord {
+        name: "table3".into(),
+        wall_ms: t.wall_ms,
+        cells: t.value,
+    });
+
+    report.emit();
 }

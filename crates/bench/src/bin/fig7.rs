@@ -1,11 +1,21 @@
 //! Regenerates Figure 7: write amplification, TimeSSD vs regular SSD.
 
+use almanac_bench::engine::timed;
+use almanac_bench::report::{BenchReport, FigureRecord};
 use almanac_bench::{fast_mode, fig6_7};
 
 fn main() {
+    let mut report = BenchReport::new("fig7", 42);
     let days = if fast_mode() { 2 } else { 7 };
     for usage in [0.5, 0.8] {
-        let rows = fig6_7::run(usage, days, 42);
+        let t = timed(|| fig6_7::run_with_timings(usage, days, 42));
+        let (rows, cells) = t.value;
         fig6_7::print_fig7(usage, &rows);
+        report.push_figure(FigureRecord {
+            name: format!("fig7@u{:.0}", usage * 100.0),
+            wall_ms: t.wall_ms,
+            cells,
+        });
     }
+    report.emit();
 }

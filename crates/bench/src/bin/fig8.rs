@@ -1,18 +1,36 @@
 //! Regenerates Figure 8: data retention duration vs trace length.
 
+use almanac_bench::engine::timed;
+use almanac_bench::report::{BenchReport, FigureRecord};
 use almanac_bench::{fast_mode, fig8};
 use almanac_workloads::{fiu_profiles, msr_profiles};
 
 fn main() {
+    let mut report = BenchReport::new("fig8", 42);
     let (msr_lengths, fiu_lengths): (Vec<u32>, Vec<u32>) = if fast_mode() {
         (vec![7, 14], vec![5, 10])
     } else {
         (vec![28, 42, 56, 63], vec![20, 30, 40])
     };
     for usage in [0.8, 0.5] {
-        fig8::run_and_print("MSR", &msr_profiles(), usage, &msr_lengths, 42);
+        let t = timed(|| {
+            fig8::run_and_print_timed("MSR", &msr_profiles(), usage, &msr_lengths, 42).1
+        });
+        report.push_figure(FigureRecord {
+            name: format!("fig8-msr@u{:.0}", usage * 100.0),
+            wall_ms: t.wall_ms,
+            cells: t.value,
+        });
     }
     for usage in [0.8, 0.5] {
-        fig8::run_and_print("FIU", &fiu_profiles(), usage, &fiu_lengths, 42);
+        let t = timed(|| {
+            fig8::run_and_print_timed("FIU", &fiu_profiles(), usage, &fiu_lengths, 42).1
+        });
+        report.push_figure(FigureRecord {
+            name: format!("fig8-fiu@u{:.0}", usage * 100.0),
+            wall_ms: t.wall_ms,
+            cells: t.value,
+        });
     }
+    report.emit();
 }

@@ -1,8 +1,20 @@
 //! Regenerates Table 3: storage-state query execution times.
 
+use almanac_bench::engine::timed;
+use almanac_bench::report::{BenchReport, FigureRecord};
 use almanac_bench::table3;
 
 fn main() {
-    let rows = table3::run(42);
-    table3::print(&rows);
+    let mut report = BenchReport::new("table3", 42);
+    let t = timed(|| {
+        let (rows, cells) = table3::run_with_timings(42);
+        table3::print(&rows);
+        cells
+    });
+    report.push_figure(FigureRecord {
+        name: "table3".into(),
+        wall_ms: t.wall_ms,
+        cells: t.value,
+    });
+    report.emit();
 }

@@ -7,13 +7,13 @@
 //! decompression per compressed page — the ~14% average gap the paper
 //! reports.
 
-use almanac_core::{FlashGuardSsd, SsdDevice};
+use almanac_core::SsdDevice;
 use almanac_flash::{Lpa, Nanos, PageData, MINUTE_NS, SEC_NS};
 use almanac_fs::{AlmanacFs, FsMode};
 use almanac_kits::TimeKits;
 use almanac_workloads::ransomware::{attack, families, Family};
 
-use crate::{bench_config, make_timessd, print_table, warm_fill};
+use crate::{bench_config, engine, print_table};
 
 /// Device fill level before the attack (the paper warms its SSD until GC
 /// triggers before every experiment, §5.1).
@@ -60,8 +60,7 @@ const RECOVERY_THREADS: u32 = 8;
 
 /// Runs one family against TimeSSD, returning `(recovery time, pages)`.
 pub fn timessd_recovery(family: Family, seed: u64) -> (Nanos, usize) {
-    let mut dev = make_timessd();
-    let warm_end = warm_fill(&mut dev, WARM_USAGE);
+    let (dev, warm_end) = engine::warm_cache().timessd(WARM_USAGE);
     let mut fs = AlmanacFs::new(dev, FsMode::Ext4NoJournal).unwrap();
     let mut fam = family;
     fam.victim_mib *= victim_scale();
@@ -91,8 +90,7 @@ pub fn timessd_recovery(family: Family, seed: u64) -> (Nanos, usize) {
 
 /// Runs one family against FlashGuard, returning the recovery time.
 pub fn flashguard_recovery(family: Family, seed: u64) -> Nanos {
-    let mut dev = FlashGuardSsd::new(bench_config());
-    let warm_end = warm_fill(&mut dev, WARM_USAGE);
+    let (dev, warm_end) = engine::warm_cache().flashguard(WARM_USAGE);
     let mut fs = AlmanacFs::new(dev, FsMode::Ext4NoJournal).unwrap();
     let mut fam = family;
     fam.victim_mib *= victim_scale();

@@ -2,9 +2,12 @@
 //! TimeSSD vs. a regular SSD across the 12 MSR/FIU traces, at 50% and 80%
 //! capacity usage. Both figures come from the same runs.
 
-use almanac_workloads::{fiu_profiles, msr_profiles};
+use almanac_trace::ReplayReport;
+use almanac_workloads::{fiu_profiles, msr_profiles, TraceProfile};
 
-use crate::{fmt_ms, make_regular, make_timessd, print_table, run_profile};
+use crate::engine::{self, timed, Timed};
+use crate::report::CellRecord;
+use crate::{fmt_ms, print_table, run_profile_warm};
 
 /// One trace's measurements on both devices.
 #[derive(Debug, Clone)]
@@ -29,14 +32,71 @@ pub struct Row {
     pub wa_increase_pct: f64,
 }
 
+/// Replays one trace on one warmed device clone — one independent cell of
+/// the Figure 6/7 grid.
+fn replay_cell(
+    profile: TraceProfile,
+    timessd: bool,
+    usage: f64,
+    days: u32,
+    seed: u64,
+) -> Timed<ReplayReport> {
+    timed(|| {
+        if timessd {
+            let (mut dev, warm_end) = engine::warm_cache().timessd(usage);
+            run_profile_warm(&mut dev, warm_end, &profile, days, usage, seed, |_, _| {})
+        } else {
+            let (mut dev, warm_end) = engine::warm_cache().regular(usage);
+            run_profile_warm(&mut dev, warm_end, &profile, days, usage, seed, |_, _| {})
+        }
+    })
+}
+
+fn cell_record(profile: &TraceProfile, usage: f64, t: &Timed<ReplayReport>) -> CellRecord {
+    CellRecord {
+        id: format!("{}@u{:.0}/{}", profile.name, usage * 100.0, t.value.device),
+        wall_ms: t.wall_ms,
+        metrics: vec![
+            ("avg_response_ns", t.value.avg_response_ns),
+            ("avg_write_ns", t.value.avg_write_ns),
+            ("avg_read_ns", t.value.avg_read_ns),
+            ("p99_write_ns", t.value.p99_write_ns as f64),
+            ("write_amplification", t.value.write_amplification),
+            ("user_writes", t.value.user_writes as f64),
+            ("user_reads", t.value.user_reads as f64),
+            ("end_time_ns", t.value.end_time as f64),
+        ],
+    }
+}
+
 /// Runs all 12 traces at the given usage for `days` simulated days.
 pub fn run(usage: f64, days: u32, seed: u64) -> Vec<Row> {
+    run_with_timings(usage, days, seed).0
+}
+
+/// Like [`run`], also returning per-cell wall-clock records for the
+/// `BENCH_*.json` report. Cells run on the experiment pool; rows are
+/// reassembled in trace order so output is independent of `ALMANAC_JOBS`.
+pub fn run_with_timings(usage: f64, days: u32, seed: u64) -> (Vec<Row>, Vec<CellRecord>) {
+    let profiles: Vec<TraceProfile> = msr_profiles().into_iter().chain(fiu_profiles()).collect();
+    type Task<'a> = Box<dyn FnOnce() -> Timed<ReplayReport> + Send + 'a>;
+    let tasks: Vec<Task> = profiles
+        .iter()
+        .flat_map(|profile| {
+            let p = *profile;
+            [
+                Box::new(move || replay_cell(p, false, usage, days, seed)) as Task,
+                Box::new(move || replay_cell(p, true, usage, days, seed)) as Task,
+            ]
+        })
+        .collect();
+    let results = engine::run_pool(tasks);
+
     let mut rows = Vec::new();
-    for profile in msr_profiles().into_iter().chain(fiu_profiles()) {
-        let mut regular = make_regular();
-        let r = run_profile(&mut regular, &profile, days, usage, seed, |_, _| {});
-        let mut timessd = make_timessd();
-        let t = run_profile(&mut timessd, &profile, days, usage, seed, |_, _| {});
+    let mut cells = Vec::new();
+    for (profile, pair) in profiles.iter().zip(results.chunks_exact(2)) {
+        let (r_timed, t_timed) = (&pair[0], &pair[1]);
+        let (r, t) = (&r_timed.value, &t_timed.value);
         let overhead = if r.avg_response_ns > 0.0 {
             (t.avg_response_ns / r.avg_response_ns - 1.0) * 100.0
         } else {
@@ -58,8 +118,10 @@ pub fn run(usage: f64, days: u32, seed: u64) -> Vec<Row> {
             regular_p99_ns: r.p99_write_ns,
             timessd_p99_ns: t.p99_write_ns,
         });
+        cells.push(cell_record(profile, usage, r_timed));
+        cells.push(cell_record(profile, usage, t_timed));
     }
-    rows
+    (rows, cells)
 }
 
 /// Prints the Figure 6 table (response times).

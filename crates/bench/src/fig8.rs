@@ -4,7 +4,9 @@
 use almanac_flash::{Nanos, DAY_NS};
 use almanac_workloads::TraceProfile;
 
-use crate::{make_timessd, print_table, run_profile};
+use crate::engine::{self, timed, Timed};
+use crate::report::CellRecord;
+use crate::{print_table, run_profile_warm};
 
 /// Retention achieved by one trace at one length.
 #[derive(Debug, Clone)]
@@ -18,6 +20,34 @@ pub struct Point {
     pub stalled: bool,
 }
 
+/// Replays one (profile, length) cell and condenses the retention samples
+/// into a [`Point`].
+fn retention_cell(profile: TraceProfile, usage: f64, days: u32, seed: u64) -> Timed<Point> {
+    timed(|| {
+        let (mut ssd, warm_end) = engine::warm_cache().timessd(usage);
+        let mut samples: Vec<Nanos> = Vec::new();
+        let mut counter = 0u64;
+        let report = run_profile_warm(&mut ssd, warm_end, &profile, days, usage, seed, |d, now| {
+            counter += 1;
+            if counter.is_multiple_of(64) {
+                samples.push(d.retention_window(now));
+            }
+        });
+        let half = samples.len() / 2;
+        let steady = &samples[half.min(samples.len().saturating_sub(1))..];
+        let mean = if steady.is_empty() {
+            0.0
+        } else {
+            steady.iter().sum::<Nanos>() as f64 / steady.len() as f64
+        };
+        Point {
+            days,
+            retention_days: mean / DAY_NS as f64,
+            stalled: report.stalled,
+        }
+    })
+}
+
 /// Measures the retention duration for one profile across trace lengths.
 pub fn run_profile_lengths(
     profile: &TraceProfile,
@@ -25,32 +55,12 @@ pub fn run_profile_lengths(
     lengths: &[u32],
     seed: u64,
 ) -> Vec<Point> {
-    lengths
+    let p = *profile;
+    let tasks: Vec<_> = lengths
         .iter()
-        .map(|&days| {
-            let mut ssd = make_timessd();
-            let mut samples: Vec<Nanos> = Vec::new();
-            let mut counter = 0u64;
-            let report = run_profile(&mut ssd, profile, days, usage, seed, |d, now| {
-                counter += 1;
-                if counter.is_multiple_of(64) {
-                    samples.push(d.retention_window(now));
-                }
-            });
-            let half = samples.len() / 2;
-            let steady = &samples[half.min(samples.len().saturating_sub(1))..];
-            let mean = if steady.is_empty() {
-                0.0
-            } else {
-                steady.iter().sum::<Nanos>() as f64 / steady.len() as f64
-            };
-            Point {
-                days,
-                retention_days: mean / DAY_NS as f64,
-                stalled: report.stalled,
-            }
-        })
-        .collect()
+        .map(|&days| move || retention_cell(p, usage, days, seed))
+        .collect();
+    engine::run_pool(tasks).into_iter().map(|t| t.value).collect()
 }
 
 /// Runs a whole suite (`profiles`) and prints the Figure 8 panel.
@@ -61,15 +71,50 @@ pub fn run_and_print(
     lengths: &[u32],
     seed: u64,
 ) -> Vec<(String, Vec<Point>)> {
-    let results: Vec<(String, Vec<Point>)> = profiles
+    run_and_print_timed(title, profiles, usage, lengths, seed).0
+}
+
+/// Like [`run_and_print`], also returning per-cell wall-clock records. The
+/// whole (profile × length) grid goes to the experiment pool at once;
+/// results are regrouped per profile in submission order, so the printed
+/// panel is independent of `ALMANAC_JOBS`.
+pub fn run_and_print_timed(
+    title: &str,
+    profiles: &[TraceProfile],
+    usage: f64,
+    lengths: &[u32],
+    seed: u64,
+) -> (Vec<(String, Vec<Point>)>, Vec<CellRecord>) {
+    let tasks: Vec<_> = profiles
         .iter()
-        .map(|p| {
-            (
-                p.name.to_string(),
-                run_profile_lengths(p, usage, lengths, seed),
-            )
+        .flat_map(|profile| {
+            let p = *profile;
+            lengths
+                .iter()
+                .map(move |&days| move || retention_cell(p, usage, days, seed))
         })
         .collect();
+    let timed_points = engine::run_pool(tasks);
+
+    let mut results: Vec<(String, Vec<Point>)> = Vec::new();
+    let mut cells: Vec<CellRecord> = Vec::new();
+    for (profile, chunk) in profiles.iter().zip(timed_points.chunks_exact(lengths.len())) {
+        results.push((
+            profile.name.to_string(),
+            chunk.iter().map(|t| t.value.clone()).collect(),
+        ));
+        for t in chunk {
+            cells.push(CellRecord {
+                id: format!("{}@u{:.0}/{}d", profile.name, usage * 100.0, t.value.days),
+                wall_ms: t.wall_ms,
+                metrics: vec![
+                    ("retention_days", t.value.retention_days),
+                    ("stalled", f64::from(u8::from(t.value.stalled))),
+                ],
+            });
+        }
+    }
+
     let mut header: Vec<String> = vec!["trace".to_string()];
     header.extend(lengths.iter().map(|d| format!("{d}d")));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -95,5 +140,5 @@ pub fn run_and_print(
         &header_refs,
         &rows,
     );
-    results
+    (results, cells)
 }

@@ -10,6 +10,11 @@
 //! Environment knobs:
 //!
 //! - `ALMANAC_FAST=1` — shrink day counts / op counts for smoke runs.
+//! - `ALMANAC_JOBS=N` — worker count for the parallel experiment engine
+//!   ([`engine`]); `1` reproduces the serial harness byte-for-byte, unset
+//!   defaults to the machine's available parallelism.
+//! - `ALMANAC_BENCH_OUT=path` — override the `BENCH_<bin>.json` report path
+//!   ([`report`]).
 
 #![warn(missing_docs)]
 
@@ -19,11 +24,13 @@ use almanac_flash::{Geometry, Lpa, Nanos, PageData, DAY_NS, MS_NS, SEC_NS};
 use almanac_trace::{replay_with_sampler, ReplayReport, Trace};
 use almanac_workloads::TraceProfile;
 
+pub mod engine;
 pub mod fig10;
 pub mod fig11;
 pub mod fig6_7;
 pub mod fig8;
 pub mod fig9;
+pub mod report;
 pub mod table3;
 
 /// True when the fast (smoke-test) mode is requested.
@@ -99,9 +106,24 @@ pub fn run_profile<D: SsdDevice>(
     days: u32,
     usage: f64,
     seed: u64,
-    mut sample: impl FnMut(&D, Nanos),
+    sample: impl FnMut(&D, Nanos),
 ) -> ReplayReport {
     let warm_end = warm_fill(dev, usage);
+    run_profile_warm(dev, warm_end, profile, days, usage, seed, sample)
+}
+
+/// Like [`run_profile`], but on a device that was already warm-filled to
+/// `usage` (ending at virtual time `warm_end`) — e.g. a clone from the
+/// [`engine::WarmCache`]. The replay is identical to warming in place.
+pub fn run_profile_warm<D: SsdDevice>(
+    dev: &mut D,
+    warm_end: Nanos,
+    profile: &TraceProfile,
+    days: u32,
+    usage: f64,
+    seed: u64,
+    mut sample: impl FnMut(&D, Nanos),
+) -> ReplayReport {
     let trace = profile_trace(
         profile,
         days,

@@ -8,9 +8,11 @@
 
 use almanac_core::SsdDevice;
 use almanac_flash::{Lpa, Nanos, DAY_NS};
-use almanac_workloads::{fiu_profiles, msr_profiles};
+use almanac_workloads::{fiu_profiles, msr_profiles, TraceProfile};
 
-use crate::{fast_mode, make_timessd, print_table, run_profile};
+use crate::engine::{self, timed, Timed};
+use crate::report::CellRecord;
+use crate::{fast_mode, print_table, run_profile_warm};
 
 /// Query timings for one workload.
 #[derive(Debug, Clone)]
@@ -28,15 +30,13 @@ pub struct Row {
 /// Device channels available for query parallelism.
 const QUERY_THREADS: u32 = 8;
 
-/// Runs all 12 workloads and measures the three queries on each.
-pub fn run(seed: u64) -> Vec<Row> {
-    let days = if fast_mode() { 1 } else { 3 };
-    let usage = 0.5;
-    let mut rows = Vec::new();
-    for profile in msr_profiles().into_iter().chain(fiu_profiles()) {
-        let mut ssd = make_timessd();
+/// Warms one workload's device and measures the three queries — one
+/// independent cell of the Table 3 column.
+fn query_cell(profile: TraceProfile, days: u32, usage: f64, seed: u64) -> Timed<Row> {
+    timed(|| {
+        let (mut ssd, warm_end) = engine::warm_cache().timessd(usage);
         let mut last_at = 0;
-        let report = run_profile(&mut ssd, &profile, days, usage, seed, |_, now| {
+        let report = run_profile_warm(&mut ssd, warm_end, &profile, days, usage, seed, |_, now| {
             last_at = now;
         });
         assert!(!report.stalled, "{} stalled during warm-up", profile.name);
@@ -57,14 +57,47 @@ pub fn run(seed: u64) -> Vec<Row> {
         // Rollback latency: retrieval makespan plus the write-back.
         let rollback_ns = out.cost.makespan(1) + before.program_total();
 
-        rows.push(Row {
+        Row {
             trace: profile.name.to_string(),
             time_query_ns,
             addr_query_all_ns,
             rollback_ns,
+        }
+    })
+}
+
+/// Runs all 12 workloads and measures the three queries on each.
+pub fn run(seed: u64) -> Vec<Row> {
+    run_with_timings(seed).0
+}
+
+/// Like [`run`], also returning per-cell wall-clock records. Cells run on
+/// the experiment pool and come back in workload order, so the table is
+/// independent of `ALMANAC_JOBS`.
+pub fn run_with_timings(seed: u64) -> (Vec<Row>, Vec<CellRecord>) {
+    let days = if fast_mode() { 1 } else { 3 };
+    let usage = 0.5;
+    let tasks: Vec<_> = msr_profiles()
+        .into_iter()
+        .chain(fiu_profiles())
+        .map(|profile| move || query_cell(profile, days, usage, seed))
+        .collect();
+    let results = engine::run_pool(tasks);
+    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    for t in results {
+        cells.push(CellRecord {
+            id: format!("{}@u{:.0}/queries", t.value.trace, usage * 100.0),
+            wall_ms: t.wall_ms,
+            metrics: vec![
+                ("time_query_ns", t.value.time_query_ns as f64),
+                ("addr_query_all_ns", t.value.addr_query_all_ns as f64),
+                ("rollback_ns", t.value.rollback_ns as f64),
+            ],
         });
+        rows.push(t.value);
     }
-    rows
+    (rows, cells)
 }
 
 fn pick_lpa_with_history(ssd: &almanac_core::TimeSsd, seed: u64) -> Lpa {

@@ -1,0 +1,145 @@
+//! The parallel experiment engine must be a pure scheduling change: the
+//! rows it assembles are byte-identical to the serial runner's at every
+//! worker count.
+
+use almanac_bench::engine::{run_pool_with, timed};
+use almanac_bench::{run_profile, run_profile_warm, warm_fill};
+use almanac_core::{RegularSsd, SsdConfig, TimeSsd};
+use almanac_flash::Geometry;
+use almanac_trace::ReplayReport;
+use almanac_workloads::{fiu_profiles, msr_profiles, TraceProfile};
+
+/// A scaled-down fig6-style replay cell (medium geometry keeps the debug
+/// build fast): one (profile, device) replay, exactly as the figure
+/// harness runs it.
+fn fig6_cell(profile: TraceProfile, timessd: bool, usage: f64, days: u32) -> ReplayReport {
+    let cfg = SsdConfig::new(Geometry::medium_test());
+    if timessd {
+        let mut dev = TimeSsd::new(cfg);
+        run_profile(&mut dev, &profile, days, usage, 42, |_, _| {})
+    } else {
+        let mut dev = RegularSsd::new(cfg);
+        run_profile(&mut dev, &profile, days, usage, 42, |_, _| {})
+    }
+}
+
+/// A scaled-down fig8-style cell: replay with the retention sampler and
+/// reduce to the steady-state mean, as `fig8::retention_cell` does.
+fn fig8_cell(profile: TraceProfile, usage: f64, days: u32) -> (u32, f64, bool) {
+    let mut dev = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+    let mut samples = Vec::new();
+    let mut counter = 0u64;
+    let report = run_profile(&mut dev, &profile, days, usage, 42, |d, now| {
+        counter += 1;
+        if counter.is_multiple_of(64) {
+            samples.push(d.retention_window(now));
+        }
+    });
+    let half = samples.len() / 2;
+    let steady = &samples[half.min(samples.len().saturating_sub(1))..];
+    let mean = if steady.is_empty() {
+        0.0
+    } else {
+        steady.iter().sum::<u64>() as f64 / steady.len() as f64
+    };
+    (days, mean, report.stalled)
+}
+
+fn fig6_rows(workers: usize) -> Vec<String> {
+    let profiles: Vec<TraceProfile> = msr_profiles()
+        .into_iter()
+        .chain(fiu_profiles())
+        .take(4)
+        .collect();
+    type Task<'a> = Box<dyn FnOnce() -> ReplayReport + Send + 'a>;
+    let tasks: Vec<Task> = profiles
+        .iter()
+        .flat_map(|p| {
+            let p = *p;
+            [
+                Box::new(move || fig6_cell(p, false, 0.4, 1)) as Task,
+                Box::new(move || fig6_cell(p, true, 0.4, 1)) as Task,
+            ]
+        })
+        .collect();
+    let results = run_pool_with(workers, tasks);
+    profiles
+        .iter()
+        .zip(results.chunks_exact(2))
+        .map(|(p, pair)| {
+            format!(
+                "{} {:.6} {:.6} {:.6} {:.6} {} {}",
+                p.name,
+                pair[0].avg_response_ns,
+                pair[1].avg_response_ns,
+                pair[0].write_amplification,
+                pair[1].write_amplification,
+                pair[0].p99_write_ns,
+                pair[1].p99_write_ns,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_fig6_rows_equal_serial_rows() {
+    let serial = fig6_rows(1);
+    let parallel = fig6_rows(4);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.len(), 4);
+}
+
+#[test]
+fn parallel_fig8_points_equal_serial_points() {
+    let profiles: Vec<TraceProfile> = msr_profiles().into_iter().take(2).collect();
+    let lengths = [1u32, 2];
+    let build_tasks = || {
+        profiles
+            .iter()
+            .flat_map(|p| {
+                let p = *p;
+                lengths.iter().map(move |&d| move || fig8_cell(p, 0.4, d))
+            })
+            .collect::<Vec<_>>()
+    };
+    let serial = run_pool_with(1, build_tasks());
+    let parallel = run_pool_with(8, build_tasks());
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.len(), profiles.len() * lengths.len());
+}
+
+#[test]
+fn warm_clone_replay_equals_in_place_replay() {
+    // A cell started from a warm-cache-style clone must report exactly what
+    // an in-place warm_fill + replay reports.
+    let profile = msr_profiles()[0];
+    let usage = 0.4;
+
+    let mut warmed = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+    let warm_end = warm_fill(&mut warmed, usage);
+    let mut clone_a = warmed.clone();
+    let from_clone = run_profile_warm(&mut clone_a, warm_end, &profile, 1, usage, 42, |_, _| {});
+
+    let mut fresh = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+    let in_place = run_profile(&mut fresh, &profile, 1, usage, 42, |_, _| {});
+
+    assert_eq!(from_clone, in_place);
+}
+
+/// Full bench-geometry equivalence at fast-mode scale. Expensive in debug
+/// builds, so opt-in: `cargo test --release -p almanac-bench -- --ignored`.
+#[test]
+#[ignore = "bench-geometry cells are slow in debug builds"]
+fn full_scale_fig6_cell_equivalence() {
+    let t = timed(|| {
+        let (rows_serial, _) = almanac_bench::fig6_7::run_with_timings(0.5, 1, 42);
+        rows_serial
+    });
+    let rows_again = almanac_bench::fig6_7::run_with_timings(0.5, 1, 42).0;
+    assert_eq!(t.value.len(), rows_again.len());
+    for (a, b) in t.value.iter().zip(&rows_again) {
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.timessd_avg_ns, b.timessd_avg_ns);
+        assert_eq!(a.regular_wa, b.regular_wa);
+    }
+}

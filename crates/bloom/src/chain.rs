@@ -40,6 +40,7 @@ pub struct SealedInfo {
     pub count: u64,
 }
 
+#[derive(Clone)]
 struct Segment {
     filter: BloomFilter,
     info: SealedInfo,
@@ -59,6 +60,7 @@ struct Segment {
 /// let dropped = chain.drop_oldest().unwrap();
 /// assert_eq!(dropped.id, 0);
 /// ```
+#[derive(Clone)]
 pub struct BloomChain {
     config: ChainConfig,
     segments: VecDeque<Segment>,

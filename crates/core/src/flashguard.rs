@@ -43,6 +43,7 @@ struct Retained {
 /// // The read-then-overwritten original is retained.
 /// assert_eq!(ssd.retained_versions(Lpa(0)).len(), 1);
 /// ```
+#[derive(Clone)]
 pub struct FlashGuardSsd {
     config: SsdConfig,
     flash: FlashArray,

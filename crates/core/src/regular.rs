@@ -28,6 +28,7 @@ use crate::tables::{Amt, AmtEntry, BlockKind, Bst, Gmd, Pvt};
 /// let (data, _) = ssd.read(Lpa(0), c.finish).unwrap();
 /// assert_eq!(data, PageData::Zeros);
 /// ```
+#[derive(Clone)]
 pub struct RegularSsd {
     config: SsdConfig,
     flash: FlashArray,

@@ -51,7 +51,9 @@ impl LatencyAcc {
     }
 
     /// Estimated latency at quantile `q` (0.0–1.0) from the histogram;
-    /// resolution is one power of two.
+    /// resolution is one power of two. The estimate never exceeds the
+    /// observed maximum: a bucket midpoint can overshoot `max_ns` (e.g.
+    /// every sample = 600 ns would otherwise report p99 = 768 ns).
     pub fn quantile_ns(&self, q: f64) -> Nanos {
         if self.count == 0 {
             return 0;
@@ -61,8 +63,10 @@ impl LatencyAcc {
         for (i, c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                // Midpoint of the bucket as the estimate.
-                return (1u64 << i) + (1u64 << i) / 2;
+                // Midpoint of the bucket as the estimate, clamped to the
+                // observed range.
+                let midpoint = (1u64 << i) + (1u64 << i) / 2;
+                return midpoint.min(self.max_ns);
             }
         }
         self.max_ns
@@ -210,6 +214,33 @@ mod tests {
     #[test]
     fn empty_histogram_quantile_is_zero() {
         assert_eq!(LatencyAcc::default().p99_ns(), 0);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        // Regression: a constant 600 ns stream lands in bucket [512, 1024)
+        // whose midpoint 768 overshoots the true (and observed) maximum.
+        let mut acc = LatencyAcc::default();
+        for _ in 0..1000 {
+            acc.record(600);
+        }
+        assert_eq!(acc.p50_ns(), 600);
+        assert_eq!(acc.p99_ns(), 600);
+        assert_eq!(acc.quantile_ns(1.0), 600);
+        assert_eq!(acc.max_ns, 600);
+    }
+
+    #[test]
+    fn quantile_clamp_only_affects_the_top_bucket() {
+        // Lower-bucket estimates keep their midpoints when the maximum sits
+        // far above them.
+        let mut acc = LatencyAcc::default();
+        for _ in 0..99 {
+            acc.record(600); // bucket [512, 1024), midpoint 768
+        }
+        acc.record(1 << 20); // one huge outlier raises max_ns
+        assert_eq!(acc.p50_ns(), 768);
+        assert!(acc.quantile_ns(0.995) <= acc.max_ns);
     }
 
     #[test]

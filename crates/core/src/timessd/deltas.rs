@@ -26,6 +26,7 @@ use crate::tables::{BlockKind, Bst};
 /// single logical page).
 const DELTA_PAGE_OOB_LPA: Lpa = Lpa(u64::MAX);
 
+#[derive(Clone)]
 struct Buffer {
     reserved: Ppa,
     page: DeltaPage,
@@ -44,6 +45,7 @@ pub struct AppendOutcome {
 }
 
 /// Manager of delta buffers, active delta blocks, and per-filter block sets.
+#[derive(Clone)]
 pub struct DeltaManager {
     geometry: Geometry,
     buffers: HashMap<FilterId, Buffer>,

@@ -61,6 +61,7 @@ pub const REF_ZEROS: Nanos = Nanos::MAX;
 /// // Both versions are now reachable through the version chain.
 /// assert_eq!(ssd.version_chain(Lpa(0)).len(), 2);
 /// ```
+#[derive(Clone)]
 pub struct TimeSsd {
     pub(crate) config: SsdConfig,
     pub(crate) flash: FlashArray,

@@ -59,15 +59,35 @@ impl QueryCost {
 
     /// Query latency with `threads` host workers: chips are dealt to the
     /// workers round-robin; a worker's time is the sum of its chips' queues;
-    /// the makespan is the worst worker. CPU work is spread evenly.
+    /// the makespan is the worst worker.
+    ///
+    /// CPU work (decompression) only exists where flash reads produced
+    /// deltas, so it is distributed over the *loaded* workers — ceiling
+    /// shares first, the remainder nanoseconds one per worker — never
+    /// spread onto idle workers and never rounded down to zero.
     pub fn makespan(&self, threads: u32) -> Nanos {
         let threads = threads.max(1) as usize;
         let mut workers = vec![0u64; threads];
         for (chip, &cost) in self.per_chip.iter().enumerate() {
             workers[chip % threads] += cost;
         }
-        let cpu_share = self.cpu / threads as u64;
-        workers.iter().map(|w| w + cpu_share).max().unwrap_or(0)
+        if self.cpu > 0 {
+            let loaded: Vec<usize> = (0..threads).filter(|&w| workers[w] > 0).collect();
+            // A pure-CPU query (no chip work at all) still runs somewhere:
+            // fall back to all workers.
+            let targets: Vec<usize> = if loaded.is_empty() {
+                (0..threads).collect()
+            } else {
+                loaded
+            };
+            let n = targets.len() as u64;
+            let share = self.cpu / n;
+            let remainder = (self.cpu % n) as usize;
+            for (i, &w) in targets.iter().enumerate() {
+                workers[w] += share + u64::from(i < remainder);
+            }
+        }
+        workers.into_iter().max().unwrap_or(0)
     }
 }
 
@@ -101,6 +121,49 @@ mod tests {
         c.charge_read(2, 100);
         c.charge_read(2, 100);
         assert_eq!(c.makespan(8), 200);
+    }
+
+    #[test]
+    fn cpu_cost_survives_when_smaller_than_thread_count() {
+        // Regression: with `cpu < threads`, the old even split computed
+        // `cpu / threads == 0` and the decompression cost vanished.
+        let threads = 4u32;
+        let mut c = QueryCost::new(4);
+        c.charge_read(0, 100);
+        c.charge_cpu(threads as u64 - 1); // cpu = threads - 1 = 3
+        assert_eq!(c.makespan(threads), 103);
+        assert_eq!(c.makespan(1), 103);
+    }
+
+    #[test]
+    fn cpu_cost_lands_on_loaded_workers_only() {
+        // One loaded chip, many idle workers: the idle workers must not
+        // absorb (and thereby hide) CPU time, and the loaded worker pays
+        // all of it.
+        let mut c = QueryCost::new(8);
+        c.charge_read(3, 50);
+        c.charge_cpu(40);
+        assert_eq!(c.makespan(8), 90);
+    }
+
+    #[test]
+    fn cpu_remainder_is_distributed_one_ns_per_worker() {
+        // Two loaded workers, cpu = 5 → shares 3 and 2, not 2 and 2.
+        let mut c = QueryCost::new(2);
+        c.charge_read(0, 100);
+        c.charge_read(1, 100);
+        c.charge_cpu(5);
+        assert_eq!(c.makespan(2), 103);
+        // Total work is conserved under one thread.
+        assert_eq!(c.makespan(1), 205);
+    }
+
+    #[test]
+    fn pure_cpu_query_still_costs() {
+        let mut c = QueryCost::new(4);
+        c.charge_cpu(9);
+        assert_eq!(c.makespan(4), 3); // ceil(9 / 4) on the busiest worker
+        assert_eq!(c.makespan(1), 9);
     }
 
     #[test]

@@ -72,6 +72,20 @@ impl<'a> TimeKits<'a> {
         QueryCost::new(self.ssd.geometry().total_chips() as u32)
     }
 
+    /// The LPAs actually addressed by an `(addr, cnt)` request: the span is
+    /// clamped to the exported address space, and `addr + cnt` saturates
+    /// instead of wrapping so requests near `u64::MAX` cannot overflow (or
+    /// panic in debug builds) and never scan past `exported_pages()`.
+    fn lpa_span(&self, addr: Lpa, cnt: u64) -> impl Iterator<Item = Lpa> {
+        let exported = self.ssd.exported_pages();
+        let start = addr.0.min(exported);
+        let end = addr
+            .0
+            .checked_add(cnt)
+            .map_or(exported, |e| e.min(exported));
+        (start..end).map(Lpa)
+    }
+
     fn charge_version(ssd: &TimeSsd, v: &VersionInfo, cost: &mut QueryCost) {
         let lat = ssd.config().latency;
         if let Some(chip) = v.chip {
@@ -104,8 +118,7 @@ impl<'a> TimeKits<'a> {
     pub fn addr_query(&self, addr: Lpa, cnt: u64, t: Nanos) -> Result<(Vec<QueryHit>, QueryCost)> {
         let mut cost = self.new_cost();
         let mut hits = Vec::new();
-        for i in 0..cnt {
-            let lpa = Lpa(addr.0 + i);
+        for lpa in self.lpa_span(addr, cnt) {
             if let Some(v) = self.ssd.version_as_of(lpa, t) {
                 hits.push(Self::fetch(self.ssd, &v, &mut cost)?);
             }
@@ -124,8 +137,7 @@ impl<'a> TimeKits<'a> {
     ) -> Result<(Vec<QueryHit>, QueryCost)> {
         let mut cost = self.new_cost();
         let mut hits = Vec::new();
-        for i in 0..cnt {
-            let lpa = Lpa(addr.0 + i);
+        for lpa in self.lpa_span(addr, cnt) {
             for v in self.ssd.versions_in(lpa, t1, t2) {
                 hits.push(Self::fetch(self.ssd, &v, &mut cost)?);
             }
@@ -137,8 +149,7 @@ impl<'a> TimeKits<'a> {
     pub fn addr_query_all(&self, addr: Lpa, cnt: u64) -> Result<(Vec<QueryHit>, QueryCost)> {
         let mut cost = self.new_cost();
         let mut hits = Vec::new();
-        for i in 0..cnt {
-            let lpa = Lpa(addr.0 + i);
+        for lpa in self.lpa_span(addr, cnt) {
             for v in self.ssd.version_chain(lpa) {
                 hits.push(Self::fetch(self.ssd, &v, &mut cost)?);
             }
@@ -241,7 +252,7 @@ impl<'a> TimeKits<'a> {
         t: Nanos,
         now: Nanos,
     ) -> Result<RollbackOutcome> {
-        let lpas: Vec<Lpa> = (0..cnt).map(|i| Lpa(addr.0 + i)).collect();
+        let lpas: Vec<Lpa> = self.lpa_span(addr, cnt).collect();
         self.roll_back_set(&lpas, t, now)
     }
 
@@ -539,6 +550,37 @@ mod tests {
         for h in &hits {
             assert_eq!(h.timestamps.len(), 1);
         }
+    }
+
+    #[test]
+    fn queries_near_u64_max_do_not_overflow() {
+        // Regression: `Lpa(addr.0 + i)` wrapped (debug-build panic) when the
+        // start address sat near u64::MAX. The span must saturate and clamp
+        // to the exported range, returning nothing.
+        let mut ssd = device_with_history();
+        let mut kits = TimeKits::new(&mut ssd);
+        let addr = Lpa(u64::MAX - 1);
+        let (hits, _) = kits.addr_query(addr, 8, 10 * SEC_NS).unwrap();
+        assert!(hits.is_empty());
+        let (hits, _) = kits.addr_query_range(addr, 8, 0, u64::MAX).unwrap();
+        assert!(hits.is_empty());
+        let (hits, _) = kits.addr_query_all(addr, 8).unwrap();
+        assert!(hits.is_empty());
+        let out = kits.roll_back(addr, 8, SEC_NS, 10 * SEC_NS).unwrap();
+        assert!(out.restored.is_empty() && out.erased.is_empty() && out.skipped.is_empty());
+    }
+
+    #[test]
+    fn queries_clamp_count_to_exported_span() {
+        // A count reaching past `exported_pages()` must not scan beyond the
+        // device; the in-range prefix still answers.
+        let mut ssd = device_with_history();
+        let exported = ssd.exported_pages();
+        let kits = TimeKits::new(&mut ssd);
+        let (hits, _) = kits.addr_query_all(Lpa(0), exported + 1000).unwrap();
+        assert_eq!(hits.len(), 12); // 4 LPAs × 3 versions, nothing more
+        let (hits, _) = kits.addr_query(Lpa(exported - 1), u64::MAX, 10 * SEC_NS).unwrap();
+        assert!(hits.is_empty()); // last page has no history, and no wrap
     }
 
     #[test]

@@ -73,6 +73,47 @@ proptest! {
     }
 
     #[test]
+    fn time_scan_is_invariant_across_thread_counts(writes in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..64)) {
+        // The parallel shard scan must report exactly the same hits and —
+        // after merging — exactly the same QueryCost at every host thread
+        // count: the work is partitioned, never changed.
+        let (mut ssd, _) = build_history(&writes);
+        let baseline = {
+            let kits = TimeKits::new(&mut ssd);
+            kits.time_query_all()
+        };
+        for threads in [2u32, 4, 8] {
+            let kits = TimeKits::new(&mut ssd).with_threads(threads);
+            let (hits, cost) = kits.time_query_all();
+            prop_assert_eq!(&hits, &baseline.0, "hits diverged at {} threads", threads);
+            prop_assert_eq!(&cost, &baseline.1, "merged cost diverged at {} threads", threads);
+            // And the merged cost yields the same single-thread makespan.
+            prop_assert_eq!(cost.makespan(1), baseline.1.makespan(1));
+        }
+    }
+
+    #[test]
+    fn addr_span_never_panics_at_boundaries(
+        addr in any::<u64>(),
+        cnt in any::<u64>(),
+        writes in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..16),
+    ) {
+        // Arbitrary (addr, cnt) pairs — including u64::MAX neighbourhoods —
+        // must neither overflow nor scan outside the exported space.
+        let (mut ssd, _) = build_history(&writes);
+        let exported = ssd.exported_pages();
+        let kits = TimeKits::new(&mut ssd);
+        let (hits, _) = kits.addr_query_all(Lpa(addr % (2 * exported)), cnt).unwrap();
+        for h in &hits {
+            prop_assert!(h.lpa.0 < exported);
+        }
+        let (hits, _) = kits.addr_query(Lpa(addr), cnt, u64::MAX).unwrap();
+        for h in &hits {
+            prop_assert!(h.lpa.0 < exported);
+        }
+    }
+
+    #[test]
     fn rollback_is_exact_and_undoable(
         writes in proptest::collection::vec((any::<u8>(), any::<u8>()), 2..48),
         pick in any::<prop::sample::Index>(),

@@ -107,6 +107,19 @@ pub fn replay_with_sampler<D: SsdDevice>(
     })
 }
 
+// The parallel experiment engine replays independent cells on pool
+// threads: traces, reports, and every device kind must stay `Send`
+// (checked at compile time so a stray `Rc`/raw pointer fails the build
+// here, not in the bench crate).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Trace>();
+    assert_send::<ReplayReport>();
+    assert_send::<almanac_core::TimeSsd>();
+    assert_send::<almanac_core::RegularSsd>();
+    assert_send::<almanac_core::FlashGuardSsd>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
