@@ -22,8 +22,11 @@ pub enum AmtEntry {
     Mapped(Ppa),
     /// Trimmed: reads return zeros, but the old version chain stays
     /// reachable through the remembered head so TimeKits can recover
-    /// deleted data.
-    Trimmed(Ppa),
+    /// deleted data. Carries the trim time so as-of queries know when the
+    /// page stopped existing (RAM-only, like the rest of the AMT: a
+    /// rewrite forgets the tombstone, and a power cut loses it — the
+    /// rebuild scan resurrects the newest on-flash version).
+    Trimmed(Ppa, Nanos),
 }
 
 impl AmtEntry {
@@ -38,8 +41,16 @@ impl AmtEntry {
     /// The head of the version chain (valid page or pre-trim head).
     pub fn chain_head(&self) -> Option<Ppa> {
         match self {
-            AmtEntry::Mapped(p) | AmtEntry::Trimmed(p) => Some(*p),
+            AmtEntry::Mapped(p) | AmtEntry::Trimmed(p, _) => Some(*p),
             AmtEntry::Unmapped => None,
+        }
+    }
+
+    /// When the page was trimmed, if it currently is.
+    pub fn trimmed_at(&self) -> Option<Nanos> {
+        match self {
+            AmtEntry::Trimmed(_, at) => Some(*at),
+            _ => None,
         }
     }
 }
@@ -349,9 +360,11 @@ mod tests {
         assert_eq!(amt.get(Lpa(0)), AmtEntry::Unmapped);
         amt.set(Lpa(0), AmtEntry::Mapped(Ppa(5)));
         assert_eq!(amt.get(Lpa(0)).mapped(), Some(Ppa(5)));
-        amt.set(Lpa(0), AmtEntry::Trimmed(Ppa(5)));
+        amt.set(Lpa(0), AmtEntry::Trimmed(Ppa(5), 42));
         assert_eq!(amt.get(Lpa(0)).mapped(), None);
         assert_eq!(amt.get(Lpa(0)).chain_head(), Some(Ppa(5)));
+        assert_eq!(amt.get(Lpa(0)).trimmed_at(), Some(42));
+        assert_eq!(AmtEntry::Mapped(Ppa(5)).trimmed_at(), None);
     }
 
     #[test]

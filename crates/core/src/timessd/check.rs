@@ -172,10 +172,30 @@ impl TimeSsd {
             }
         }
 
-        // 3. Version chains strictly decrease in time.
+        // 3. Version chains strictly decrease in time, and the IMT never
+        //    claims a compressed version newer than the data-chain head
+        //    (compression only covers invalidated versions; equality is the
+        //    legal head-also-compressed freeze, see `version_chain`). The
+        //    traversal itself drops out-of-order hops defensively, so the
+        //    IMT cross-check is what makes a disordered index *observable*
+        //    here rather than silently truncating the chain. Skipped on
+        //    rebuilt devices: a power cut can legitimately leave the newest
+        //    surviving version in a delta while an older data page is
+        //    remapped as head (tracked in ROADMAP).
+        let rebuilt = !self.recovered_deltas.is_empty();
         for (lpa, entry) in self.amt.iter() {
             if matches!(entry, AmtEntry::Unmapped) && self.imt.head(lpa).is_none() {
                 continue;
+            }
+            if !rebuilt {
+                if let (AmtEntry::Mapped(head), Some((_, imt_ts))) = (entry, self.imt.head(lpa)) {
+                    if let Ok((_, oob)) = self.flash.peek(head) {
+                        if imt_ts > oob.timestamp {
+                            report.violations.push(Violation::ChainOrderViolation(lpa));
+                            continue; // the walk below would mask it
+                        }
+                    }
+                }
             }
             let chain = self.version_chain(lpa);
             report.chain_entries += chain.len() as u64;
@@ -224,6 +244,144 @@ mod tests {
         assert!(report.is_clean(), "{:?}", report.violations);
         assert!(report.mapped_lpas > 0);
         assert!(report.chain_entries >= 200);
+    }
+
+    // --- Checker self-tests: a checker that can't fail is untested. Each
+    // test corrupts one invariant on a legitimately-built device and
+    // asserts the matching violation is reported. Corruptions may knock
+    // over secondary invariants too (e.g. un-validating a page also skews
+    // its block's counter), so the assertions check containment, not
+    // exclusivity.
+
+    fn built() -> TimeSsd {
+        let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+        let mut now = SEC_NS;
+        for i in 0..60u64 {
+            let lpa = Lpa(i % 9);
+            let c = ssd
+                .write(
+                    lpa,
+                    PageData::Synthetic {
+                        seed: lpa.0,
+                        version: i,
+                    },
+                    now,
+                )
+                .unwrap();
+            now = c.finish + SEC_NS;
+        }
+        assert!(ssd.check_consistency().is_clean());
+        ssd
+    }
+
+    fn head_of(ssd: &TimeSsd, lpa: Lpa) -> Ppa {
+        ssd.amt.get(lpa).mapped().expect("lpa is mapped")
+    }
+
+    #[test]
+    fn detects_mapped_page_not_valid() {
+        let mut ssd = built();
+        let head = head_of(&ssd, Lpa(3));
+        ssd.pvt.set(head, false);
+        let report = ssd.check_consistency();
+        assert!(report
+            .violations
+            .contains(&Violation::MappedPageNotValid(Lpa(3), head)));
+    }
+
+    #[test]
+    fn detects_oob_owner_mismatch_and_double_mapping() {
+        let mut ssd = built();
+        // Point LPA 2 at LPA 7's head: the OOB claims 7, and the page is
+        // now mapped twice.
+        let foreign = head_of(&ssd, Lpa(7));
+        ssd.amt.set(Lpa(2), AmtEntry::Mapped(foreign));
+        let report = ssd.check_consistency();
+        assert!(report
+            .violations
+            .contains(&Violation::OobOwnerMismatch(Lpa(2), foreign, Lpa(7))));
+        assert!(report.violations.contains(&Violation::DoubleMapped(foreign)));
+    }
+
+    #[test]
+    fn detects_bst_valid_miscount() {
+        let mut ssd = built();
+        let block = ssd.config.geometry.block_of(head_of(&ssd, Lpa(0)));
+        ssd.bst.get_mut(block).valid += 1;
+        let report = ssd.check_consistency();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::BstValidMiscount { block: b, .. } if *b == block.0)));
+    }
+
+    #[test]
+    fn detects_reclaimable_valid_page() {
+        let mut ssd = built();
+        let head = head_of(&ssd, Lpa(5));
+        ssd.prt.mark(head);
+        let report = ssd.check_consistency();
+        assert!(report
+            .violations
+            .contains(&Violation::ReclaimableValidPage(head)));
+    }
+
+    #[test]
+    fn detects_free_block_not_empty() {
+        let mut ssd = built();
+        let free = ssd
+            .bst
+            .iter()
+            .find(|(_, info)| info.kind == BlockKind::Free && info.written == 0)
+            .map(|(b, _)| b)
+            .expect("a free block exists");
+        ssd.bst.get_mut(free).written = 1;
+        let report = ssd.check_consistency();
+        assert!(report
+            .violations
+            .contains(&Violation::FreeBlockNotEmpty(free.0)));
+    }
+
+    #[test]
+    fn detects_imt_newer_than_head() {
+        let mut ssd = built();
+        // Claim the delta chain holds a version from the future: the chain
+        // walk would silently refuse the IMT jump, so only the explicit
+        // cross-check can surface the disordered index.
+        let head = head_of(&ssd, Lpa(1));
+        let (_, oob) = ssd.flash.peek(head).unwrap();
+        ssd.imt.set_head(Lpa(1), head, oob.timestamp + 1);
+        let report = ssd.check_consistency();
+        assert!(report
+            .violations
+            .contains(&Violation::ChainOrderViolation(Lpa(1))));
+    }
+
+    #[test]
+    fn imt_equal_to_head_is_legal() {
+        let mut ssd = built();
+        // Equality is the documented head-also-compressed freeze state and
+        // must NOT fire (see the `<=` IMT jump in `version_chain`).
+        let head = head_of(&ssd, Lpa(1));
+        let (_, oob) = ssd.flash.peek(head).unwrap();
+        ssd.imt.set_head(Lpa(1), head, oob.timestamp);
+        let report = ssd.check_consistency();
+        assert!(!report
+            .violations
+            .contains(&Violation::ChainOrderViolation(Lpa(1))));
+    }
+
+    #[test]
+    fn detects_orphan_delta_block() {
+        let mut ssd = built();
+        // Relabel a populated data block as a delta block: its pages do not
+        // hold delta records, so the block is an orphan.
+        let block = ssd.config.geometry.block_of(head_of(&ssd, Lpa(0)));
+        ssd.bst.get_mut(block).kind = BlockKind::Delta(0);
+        let report = ssd.check_consistency();
+        assert!(report
+            .violations
+            .contains(&Violation::OrphanDeltaBlock(block.0)));
     }
 
     #[test]

@@ -156,7 +156,7 @@ impl TimeSsd {
                 self.note_read(cause);
                 (data, oob.timestamp, oob.back_ptr)
             }
-            AmtEntry::Trimmed(head) => (PageData::Zeros, REF_ZEROS, Some(head)),
+            AmtEntry::Trimmed(head, _) => (PageData::Zeros, REF_ZEROS, Some(head)),
             AmtEntry::Unmapped => return Ok(t),
         };
 
@@ -564,7 +564,7 @@ impl TimeSsd {
                 self.pvt.set(new_ppa, true);
                 if let Some(owner) = owner {
                     let entry = match self.amt.get(owner) {
-                        AmtEntry::Trimmed(_) => AmtEntry::Trimmed(new_ppa),
+                        AmtEntry::Trimmed(_, at) => AmtEntry::Trimmed(new_ppa, at),
                         _ => AmtEntry::Mapped(new_ppa),
                     };
                     self.amt.set(owner, entry);

@@ -275,11 +275,11 @@ impl TimeSsd {
                 .find(|(_, e)| e.chain_head() == Some(old))
                 .map(|(l, _)| l)
         };
-        // The old physical copy ceases to exist; it is not an invalidation
-        // in the version-history sense, so it does not enter the Bloom
-        // filters.
-        self.pvt.set(old, false);
-        self.bst.get_mut(self.config.geometry.block_of(old)).valid -= 1;
+        // Secure a destination page *before* touching the old copy's
+        // validity: when the allocator comes up empty the error below must
+        // leave the tables untouched, or a stalled device ends with the
+        // owner mapped to a page just marked invalid (found by the
+        // differential oracle under GC pressure).
         let (ppa, opened) = self
             .alloc
             .next_gc_page()
@@ -290,6 +290,11 @@ impl TimeSsd {
         if let Some(b) = opened {
             self.bst.get_mut(b).kind = BlockKind::Data;
         }
+        // The old physical copy ceases to exist; it is not an invalidation
+        // in the version-history sense, so it does not enter the Bloom
+        // filters.
+        self.pvt.set(old, false);
+        self.bst.get_mut(self.config.geometry.block_of(old)).valid -= 1;
         let fixed_oob = Oob::new(owner.unwrap_or(oob.lpa), oob.back_ptr, oob.timestamp);
         let finish = self.flash.program(ppa, data, fixed_oob, rt)?;
         let block = self.config.geometry.block_of(ppa);
@@ -300,7 +305,7 @@ impl TimeSsd {
         if let Some(owner) = owner {
             // A trimmed head stays trimmed: migration moves bytes, not state.
             let entry = match self.amt.get(owner) {
-                AmtEntry::Trimmed(_) => AmtEntry::Trimmed(ppa),
+                AmtEntry::Trimmed(_, at) => AmtEntry::Trimmed(ppa, at),
                 _ => AmtEntry::Mapped(ppa),
             };
             self.amt.set(owner, entry);
@@ -404,9 +409,17 @@ impl SsdDevice for TimeSsd {
         self.idle.on_arrival(now);
         let start = now.max(self.busy_until);
         if let AmtEntry::Mapped(old) = self.amt.get(lpa) {
-            // Remember the chain head so deleted data stays recoverable.
-            self.amt.set(lpa, AmtEntry::Trimmed(old));
-            self.invalidate_retain(old, start);
+            // Invalidation times recorded in the Bloom chain must never
+            // regress: back-to-back writes push `last_ts` ahead of wall
+            // time, and a filter whose creation time exceeds an earlier
+            // filter's youngest entry would let `may_drop_oldest`
+            // overestimate those entries' ages and expire them early.
+            let inv_ts = start.max(self.last_ts);
+            // Remember the chain head (and when it stopped existing) so
+            // deleted data stays recoverable and as-of queries know the
+            // page read as zeros from here on.
+            self.amt.set(lpa, AmtEntry::Trimmed(old, inv_ts));
+            self.invalidate_retain(old, inv_ts);
             self.gmd.note_update(lpa);
         }
         self.stats.user_trims += 1;

@@ -108,7 +108,7 @@ impl TimeSsd {
                     cursor = oob.back_ptr;
                 }
             }
-            AmtEntry::Trimmed(head) => cursor = Some(head),
+            AmtEntry::Trimmed(head, _) => cursor = Some(head),
             AmtEntry::Unmapped => {}
         }
 
@@ -320,7 +320,20 @@ impl TimeSsd {
 
     /// The newest version of `lpa` written at or before `at` — the state of
     /// the page "as of" that time.
+    ///
+    /// Trim-aware: if the page is currently trimmed and the trim happened at
+    /// or before `at`, the page did not exist at that instant and `None` is
+    /// returned — otherwise a rollback to a post-trim time would resurrect
+    /// deleted data. The tombstone is RAM-only and forgotten when the page
+    /// is rewritten (the trim is then an interior gap the chain does not
+    /// record); the explicitly-historical [`Self::versions_in`] still
+    /// surfaces pre-trim write events.
     pub fn version_as_of(&self, lpa: Lpa, at: Nanos) -> Option<VersionInfo> {
+        if let Some(t_trim) = self.amt.get(lpa).trimmed_at() {
+            if t_trim <= at {
+                return None;
+            }
+        }
         self.version_chain(lpa)
             .into_iter()
             .find(|v| v.timestamp <= at)
@@ -337,6 +350,14 @@ impl TimeSsd {
     /// True when the LPA currently maps to valid data.
     pub fn is_mapped(&self, lpa: Lpa) -> bool {
         matches!(self.amt.get(lpa), AmtEntry::Mapped(_))
+    }
+
+    /// When `lpa` was trimmed, if it currently carries a trim tombstone.
+    ///
+    /// The tombstone is RAM-only: rewriting the page forgets it, and a power
+    /// cut loses it (rebuild resurrects the newest on-flash version).
+    pub fn trimmed_at(&self, lpa: Lpa) -> Option<Nanos> {
+        self.amt.get(lpa).trimmed_at()
     }
 
     /// The array geometry (for host-side query cost accounting).

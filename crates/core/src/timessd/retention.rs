@@ -58,14 +58,17 @@ impl PeriodCounters {
 ///
 /// Dropping the oldest filter moves the window start to the creation time of
 /// the second-oldest filter, so the post-drop window must still span at
-/// least `min_retention`.
+/// least `min_retention`. The comparison is strict: the paper's "3-day
+/// guaranteed lower bound" (§3.4) means a version invalidated exactly
+/// `min_retention` ago must *still* be queryable, so the post-drop window
+/// has to strictly exceed the bound before the drop is allowed.
 pub fn may_drop_oldest(
     now: Nanos,
     second_oldest_created: Option<Nanos>,
     min_retention: Nanos,
 ) -> bool {
     match second_oldest_created {
-        Some(created) => now.saturating_sub(created) >= min_retention,
+        Some(created) => now.saturating_sub(created) > min_retention,
         None => false, // never drop the only filter via the threshold path
     }
 }
@@ -110,6 +113,22 @@ mod tests {
         assert!(may_drop_oldest(10 * day, Some(5 * day), 3 * day));
         assert!(!may_drop_oldest(10 * day, Some(9 * day), 3 * day));
         assert!(!may_drop_oldest(10 * day, None, 3 * day));
+    }
+
+    #[test]
+    fn drop_boundary_is_strict() {
+        // §3.4: a version aged *exactly* the guaranteed bound is still
+        // inside the guarantee and must remain queryable. Only strictly
+        // older windows may be dropped.
+        let day = 86_400_000_000_000u64;
+        let min = 3 * day;
+        let created = 4 * day;
+        // age == min_retention - 1: inside the guarantee.
+        assert!(!may_drop_oldest(created + min - 1, Some(created), min));
+        // age == min_retention exactly: still guaranteed, may NOT drop.
+        assert!(!may_drop_oldest(created + min, Some(created), min));
+        // age == min_retention + 1: strictly past the bound, may drop.
+        assert!(may_drop_oldest(created + min + 1, Some(created), min));
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Longer-horizon local fuzz sweep (not run in CI): all strategies at
+//! several times seed scale, mixed configs.
+use almanac_core::SsdConfig;
+use almanac_flash::{Geometry, SEC_NS};
+use almanac_oracle::{strategy, DifferentialHarness};
+use proptest::{Strategy, TestRng};
+
+fn main() {
+    let mut total = 0usize;
+    let mut stalls = 0usize;
+    for case in 0..32u32 {
+        let mut rng = TestRng::for_case("long_fuzz", case);
+        let suites: Vec<(&str, proptest::BoxedStrategy<Vec<strategy::OracleOp>>, SsdConfig)> = vec![
+            ("skew", strategy::skewed_writes(24, 400), SsdConfig::new(Geometry::medium_test())),
+            ("trim", strategy::trim_heavy(16, 400), SsdConfig::new(Geometry::medium_test())),
+            ("eqts", strategy::equal_ts_bursts(8, 400), SsdConfig::new(Geometry::medium_test())),
+            ("gc", strategy::gc_pressure(40, 500), SsdConfig::new(Geometry::small_test()).with_min_retention(SEC_NS)),
+            ("cut", strategy::power_cut_recovery(16, 400), SsdConfig::new(Geometry::medium_test())),
+            ("roll", strategy::rollback_storm(12, 300), SsdConfig::new(Geometry::medium_test())),
+        ];
+        for (name, strat, cfg) in suites {
+            let ops = strat.generate(&mut rng);
+            let mut h = DifferentialHarness::new(cfg);
+            let report = h.run(&ops);
+            total += 1;
+            if h.is_stalled() { stalls += 1; }
+            if !report.is_clean() {
+                println!("=== DIVERGENCE in {name} case {case} ===\n{report}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("clean: {total} runs ({stalls} stalled)");
+}

@@ -1,0 +1,695 @@
+//! Lockstep differential execution: one real [`TimeSsd`], one
+//! [`ModelDevice`], every op applied to both and compared.
+//!
+//! The harness implements [`SsdDevice`], so anything that drives a device —
+//! `trace::replay` in particular — can drive the pair and get op-by-op
+//! read checking for free. Richer probes (`as-of` queries, TimeKits
+//! rollbacks, power cuts, full deep checks) are available through
+//! [`DifferentialHarness::apply`] on [`OracleOp`] sequences, which is what
+//! the proptest strategies feed it.
+//!
+//! ## Comparison rules
+//!
+//! - **Reads** must return the model's current bytes, byte-for-byte.
+//! - **Chains** must be strictly decreasing in time, every entry must be a
+//!   version the model saw written (no phantoms), and entry content must
+//!   decode to the originally-written bytes.
+//! - **Heads** must agree: the device maps `lpa` iff the model has a live,
+//!   untrimmed head, at the same timestamp.
+//! - **Obligations**: every model version still inside the minimum
+//!   retention window (measured from its invalidation basis) must appear in
+//!   the device chain. Older versions are *allowed* but not demanded.
+//! - **As-of / rollback** answers may skip newest-first past versions that
+//!   are no longer obligated (expired or waived), but must stop at the
+//!   first obligated one; see [`ModelDevice`] for the waiver rules after a
+//!   power cut.
+//!
+//! A [`Divergence`] is recorded for each disagreement;
+//! [`minimal_failing_prefix`] re-runs an op sequence with a deep check
+//! after every op to pin the shortest reproducing prefix.
+
+use std::collections::BTreeMap;
+
+use almanac_core::{
+    AlmanacError, Completion, DeviceStats, Result, SsdConfig, SsdDevice, TimeSsd, VersionLocation,
+};
+use almanac_flash::{FlashError, Geometry, Lpa, Nanos, PageData};
+use almanac_kits::TimeKits;
+
+use crate::model::ModelDevice;
+use crate::report::{Divergence, DivergenceReport};
+use crate::strategy::OracleOp;
+
+/// Per-LPA cap on full content decodes in one deep check; timestamps and
+/// ordering are still verified for the whole chain beyond it.
+const CONTENT_CHECK_CAP: usize = 32;
+
+/// Stop recording after this many divergences (the first is what matters).
+const MAX_DIVERGENCES: usize = 16;
+
+/// A [`TimeSsd`] and its reference model, driven in lockstep.
+pub struct DifferentialHarness {
+    ssd: TimeSsd,
+    model: ModelDevice,
+    config: SsdConfig,
+    divergences: Vec<Divergence>,
+    ops: Vec<OracleOp>,
+    first_divergence_op: Option<usize>,
+    /// Virtual arrival clock for `apply`-driven runs.
+    now: Nanos,
+    /// Max arrival/completion time observed — the instant obligations are
+    /// evaluated at. Never behind any expiry decision the device has made.
+    clock: Nanos,
+    /// Monotonic counter making every synthetic write distinct.
+    seq: u64,
+    stalled: bool,
+    power_cuts: usize,
+    /// Deep-check cadence in ops (0 = only explicit `Check` ops + final).
+    check_every: usize,
+    since_check: usize,
+    /// True while a TimeKits rollback runs: device writes the harness has
+    /// not yet mirrored are expected, so a power cut mid-rollback adopts
+    /// unknown flash heads instead of flagging phantoms.
+    in_rollback: bool,
+}
+
+impl DifferentialHarness {
+    /// A fresh device/model pair for `config`.
+    pub fn new(config: SsdConfig) -> Self {
+        let model = ModelDevice::new(
+            config.exported_pages(),
+            config.geometry.page_size as usize,
+            config.min_retention,
+        );
+        DifferentialHarness {
+            ssd: TimeSsd::new(config.clone()),
+            model,
+            config,
+            divergences: Vec::new(),
+            ops: Vec::new(),
+            first_divergence_op: None,
+            now: 0,
+            clock: 0,
+            seq: 0,
+            stalled: false,
+            power_cuts: 0,
+            check_every: 0,
+            since_check: 0,
+            in_rollback: false,
+        }
+    }
+
+    /// Runs a deep check every `n` applied ops (0 disables the cadence).
+    pub fn with_check_every(mut self, n: usize) -> Self {
+        self.check_every = n;
+        self
+    }
+
+    /// Read access to the device under test.
+    pub fn ssd(&self) -> &TimeSsd {
+        &self.ssd
+    }
+
+    /// Read access to the reference model.
+    pub fn model(&self) -> &ModelDevice {
+        &self.model
+    }
+
+    /// Mutable access to the device under test, bypassing the model.
+    ///
+    /// Exists so tests can seed device-side state the model does not know
+    /// about and prove the oracle flags it; using it in a differential run
+    /// for anything else desynchronises the pair by construction.
+    pub fn ssd_mut_bypassing_model(&mut self) -> &mut TimeSsd {
+        &mut self.ssd
+    }
+
+    /// Divergences recorded so far.
+    pub fn divergences(&self) -> &[Divergence] {
+        &self.divergences
+    }
+
+    /// Power cuts survived so far.
+    pub fn power_cuts(&self) -> usize {
+        self.power_cuts
+    }
+
+    /// True once the device refused service (retention pinned GC).
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    fn page_size(&self) -> usize {
+        self.config.geometry.page_size as usize
+    }
+
+    fn diverge(&mut self, d: Divergence) {
+        if self.divergences.len() >= MAX_DIVERGENCES {
+            return;
+        }
+        if self.first_divergence_op.is_none() && !self.ops.is_empty() {
+            self.first_divergence_op = Some(self.ops.len() - 1);
+        }
+        self.divergences.push(d);
+    }
+
+    /// The device answers `version_as_of(lpa, at)` may legally give:
+    /// model versions at or before `at`, newest first, up to and including
+    /// the first *obligated* one (which it must not skip). The bool says
+    /// whether `None` is also legal (no obligated version at or before
+    /// `at`, or the page was tombstoned by then).
+    fn acceptable_as_of(&self, lpa: Lpa, at: Nanos) -> (Vec<Nanos>, bool) {
+        if let Some(t_trim) = self.model.trimmed_at(lpa) {
+            if t_trim <= at {
+                return (Vec::new(), true);
+            }
+        }
+        let mut acceptable = Vec::new();
+        for v in self.model.history(lpa).iter().rev() {
+            if v.timestamp > at {
+                continue;
+            }
+            acceptable.push(v.timestamp);
+            if self.model.obligated(v, self.clock) {
+                return (acceptable, false);
+            }
+        }
+        (acceptable, true)
+    }
+
+    // ---- op application ------------------------------------------------
+
+    /// Applies one generated op to both sides. Stalls and power cuts are
+    /// handled internally; unexpected device errors panic (the oracle runs
+    /// inside tests).
+    pub fn apply(&mut self, op: &OracleOp) {
+        if self.stalled || self.divergences.len() >= MAX_DIVERGENCES {
+            return;
+        }
+        self.ops.push(op.clone());
+        let exported = self.model.exported_pages();
+        match *op {
+            OracleOp::Write { lpa, gap } => {
+                self.now = self.now.saturating_add(gap);
+                self.seq += 1;
+                let lpa = Lpa(lpa % exported);
+                let data = PageData::Synthetic {
+                    seed: lpa.0 ^ 0x5eed_0000,
+                    version: self.seq,
+                };
+                self.checked_op(|h, now| h.write(lpa, data.clone(), now).map(|_| ()));
+            }
+            OracleOp::WriteBytes { lpa, tag, gap } => {
+                self.now = self.now.saturating_add(gap);
+                self.seq += 1;
+                let lpa = Lpa(lpa % exported);
+                let mut bytes = vec![tag; self.page_size()];
+                bytes[..8].copy_from_slice(&lpa.0.to_le_bytes());
+                bytes[8..16].copy_from_slice(&self.seq.to_le_bytes());
+                let data = PageData::Bytes(std::sync::Arc::new(bytes));
+                self.checked_op(|h, now| h.write(lpa, data.clone(), now).map(|_| ()));
+            }
+            OracleOp::Read { lpa, gap } => {
+                self.now = self.now.saturating_add(gap);
+                let lpa = Lpa(lpa % exported);
+                self.checked_op(|h, now| h.read(lpa, now).map(|_| ()));
+            }
+            OracleOp::Trim { lpa, gap } => {
+                self.now = self.now.saturating_add(gap);
+                let lpa = Lpa(lpa % exported);
+                self.checked_op(|h, now| h.trim(lpa, now).map(|_| ()));
+            }
+            OracleOp::AsOf { lpa, back, gap } => {
+                self.now = self.now.saturating_add(gap);
+                let lpa = Lpa(lpa % exported);
+                let at = self.now.saturating_sub(back);
+                self.as_of_check(lpa, at);
+            }
+            OracleOp::RollBack { lpa, cnt, back, gap } => {
+                self.now = self.now.saturating_add(gap);
+                let start = lpa % exported;
+                let cnt = cnt.clamp(1, exported - start);
+                let t = self.now.saturating_sub(back);
+                self.roll_back(Lpa(start), cnt, t);
+            }
+            OracleOp::PowerCut => self.power_cycle(),
+            OracleOp::Check => {
+                self.check_now();
+            }
+        }
+        if self.check_every > 0 && !matches!(op, OracleOp::Check) {
+            self.since_check += 1;
+            if self.since_check >= self.check_every {
+                self.since_check = 0;
+                self.check_now();
+            }
+        }
+    }
+
+    /// Runs `f` as a device op at the current virtual time, absorbing the
+    /// outcomes the oracle treats as measured rather than fatal.
+    fn checked_op(&mut self, f: impl Fn(&mut Self, Nanos) -> Result<()>) {
+        match f(self, self.now) {
+            Ok(()) => {}
+            Err(AlmanacError::DeviceStalled { .. }) => self.stalled = true,
+            Err(e) => panic!("unexpected device error in differential run: {e}"),
+        }
+    }
+
+    /// Applies a whole sequence, finishing with a deep check.
+    pub fn run(&mut self, ops: &[OracleOp]) -> DivergenceReport {
+        for op in ops {
+            if self.stalled || self.divergences.len() >= MAX_DIVERGENCES {
+                break;
+            }
+            self.apply(op);
+        }
+        self.check_now();
+        self.report()
+    }
+
+    /// The current outcome snapshot.
+    pub fn report(&self) -> DivergenceReport {
+        DivergenceReport {
+            divergences: self.divergences.clone(),
+            ops: self.ops.clone(),
+            first_divergence_op: self.first_divergence_op,
+            stalled: self.stalled,
+            applied: self.ops.len(),
+        }
+    }
+
+    // ---- probes beyond the SsdDevice surface ---------------------------
+
+    /// Compares `version_as_of` against the model's acceptable answers.
+    pub fn as_of_check(&mut self, lpa: Lpa, at: Nanos) {
+        let device = self.ssd.version_as_of(lpa, at).map(|v| v.timestamp);
+        let (acceptable, none_ok) = self.acceptable_as_of(lpa, at);
+        let legal = match device {
+            Some(ts) => acceptable.contains(&ts),
+            None => none_ok,
+        };
+        if !legal {
+            let model = self.model.as_of(lpa, at).map(|v| v.timestamp);
+            self.diverge(Divergence::AsOfMismatch {
+                lpa,
+                at,
+                device,
+                model,
+            });
+        } else if let Some(ts) = device {
+            // The served version must also decode to the written bytes.
+            self.verify_content(lpa, ts);
+        }
+    }
+
+    fn verify_content(&mut self, lpa: Lpa, ts: Nanos) {
+        let Some(mv) = self.model.version_at(lpa, ts) else {
+            self.diverge(Divergence::PhantomVersion { lpa, ts });
+            return;
+        };
+        let expect = mv.data.materialize(self.page_size());
+        match self.ssd.version_content(lpa, ts) {
+            Ok(c) if c.materialize(self.page_size()) == expect => {}
+            Ok(_) => self.diverge(Divergence::ContentMismatch {
+                lpa,
+                ts,
+                detail: "decoded bytes differ from written bytes".into(),
+            }),
+            Err(e) => self.diverge(Divergence::ContentMismatch {
+                lpa,
+                ts,
+                detail: format!("version unreadable: {e}"),
+            }),
+        }
+    }
+
+    /// TimeKits rollback of `[addr, addr+cnt)` to instant `t`, verified
+    /// page-by-page: each page must end at an acceptable as-of state.
+    pub fn roll_back(&mut self, addr: Lpa, cnt: u64, t: Nanos) {
+        self.in_rollback = true;
+        let outcome = TimeKits::new(&mut self.ssd).roll_back(addr, cnt, t, self.now);
+        self.in_rollback = false;
+        match outcome {
+            Ok(out) => {
+                self.clock = self.clock.max(out.finish);
+                for i in 0..cnt {
+                    self.sync_rolled_page(Lpa(addr.0 + i), t);
+                }
+            }
+            Err(AlmanacError::DeviceStalled { .. }) => self.stalled = true,
+            Err(AlmanacError::Flash(FlashError::PowerLoss)) => {
+                // Mid-rollback cut: some pages are already rewritten on
+                // flash. `power_cycle` adopts them from the scan.
+                self.in_rollback = true;
+                self.power_cycle();
+                self.in_rollback = false;
+            }
+            Err(e) => panic!("unexpected rollback error in differential run: {e}"),
+        }
+    }
+
+    /// After a rollback, reconciles one page: the device must have landed
+    /// on an acceptable as-of version (newly written or already matching),
+    /// a trim (page absent at `t`), or nothing (no history at all).
+    fn sync_rolled_page(&mut self, lpa: Lpa, t: Nanos) {
+        let (acceptable, none_ok) = self.acceptable_as_of(lpa, t);
+        let chain = self.ssd.version_chain(lpa);
+        let head = chain.first().filter(|v| v.is_head).map(|v| v.timestamp);
+        match head {
+            Some(hts) => {
+                let ps = self.page_size();
+                let head_bytes = match self.ssd.version_content(lpa, hts) {
+                    Ok(c) => c.materialize(ps),
+                    Err(e) => {
+                        self.diverge(Divergence::RollbackMismatch {
+                            lpa,
+                            target: t,
+                            detail: format!("post-rollback head unreadable: {e}"),
+                        });
+                        return;
+                    }
+                };
+                if self.model.version_at(lpa, hts).is_none() {
+                    // A fresh rollback write. Its content must equal one of
+                    // the acceptable as-of versions; mirror it in the model.
+                    let matched = acceptable.iter().copied().find(|&ts| {
+                        self.model
+                            .version_at(lpa, ts)
+                            .map(|mv| mv.data.materialize(ps) == head_bytes)
+                            .unwrap_or(false)
+                    });
+                    match matched {
+                        Some(src_ts) => {
+                            let data = self
+                                .model
+                                .version_at(lpa, src_ts)
+                                .map(|mv| mv.data.clone())
+                                .expect("matched version exists");
+                            if self.model.record_write(lpa, data, hts).is_err() {
+                                self.diverge(Divergence::ChainOrder {
+                                    lpa,
+                                    chain: chain.iter().map(|v| v.timestamp).collect(),
+                                });
+                            }
+                        }
+                        None => self.diverge(Divergence::RollbackMismatch {
+                            lpa,
+                            target: t,
+                            detail: "rewritten content matches no version live at t".into(),
+                        }),
+                    }
+                } else if !acceptable.contains(&hts) {
+                    // "Already matches" skip — only legal if the surviving
+                    // head is itself an acceptable as-of answer.
+                    self.diverge(Divergence::RollbackMismatch {
+                        lpa,
+                        target: t,
+                        detail: format!("head left at @{hts}, not an as-of answer for t"),
+                    });
+                }
+            }
+            None => {
+                if let Some(at) = self.ssd.trimmed_at(lpa) {
+                    // Erased because the page did not exist at `t`.
+                    if !none_ok {
+                        self.diverge(Divergence::RollbackMismatch {
+                            lpa,
+                            target: t,
+                            detail: "page erased though an obligated version was live at t".into(),
+                        });
+                    }
+                    self.model.record_trim(lpa, at);
+                } else if self.model.current(lpa).is_some() && !none_ok {
+                    self.diverge(Divergence::RollbackMismatch {
+                        lpa,
+                        target: t,
+                        detail: "page vanished without a tombstone".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Cuts power (losing all RAM state), revives the flash, rebuilds the
+    /// device, and applies the documented crash contract to the model.
+    pub fn power_cycle(&mut self) {
+        self.power_cuts += 1;
+
+        // Versions living only in volatile delta buffers are legally lost.
+        let mut buffered: Vec<(Lpa, Nanos)> = Vec::new();
+        let lpas: Vec<Lpa> = self.model.lpas().collect();
+        for &lpa in &lpas {
+            for v in self.ssd.version_chain(lpa) {
+                if matches!(v.location, VersionLocation::BufferedDelta(_)) {
+                    buffered.push((lpa, v.timestamp));
+                }
+            }
+        }
+
+        // Power off; recover the array (clears the scheduled cut).
+        let placeholder = TimeSsd::new(SsdConfig::new(Geometry::small_test()));
+        let old = std::mem::replace(&mut self.ssd, placeholder);
+        let mut flash = old.into_flash();
+        flash.revive();
+
+        // Mirror rebuild pass 1: the newest durable data page per LPA is
+        // what the device will map as the head.
+        let geo = self.config.geometry;
+        let exported = self.config.exported_pages();
+        let mut heads: BTreeMap<Lpa, (Nanos, PageData)> = BTreeMap::new();
+        for block in 0..geo.total_blocks() {
+            for off in 0..geo.pages_per_block {
+                let ppa = geo.ppa(block, off);
+                let Ok((data, oob)) = flash.peek(ppa) else {
+                    break; // sequential programming: first free page ends it
+                };
+                if matches!(data, PageData::DeltaPage(_)) || oob.lpa.0 >= exported {
+                    continue;
+                }
+                match heads.get(&oob.lpa) {
+                    Some((ts, _)) if *ts >= oob.timestamp => {}
+                    _ => {
+                        heads.insert(oob.lpa, (oob.timestamp, data.clone()));
+                    }
+                }
+            }
+        }
+
+        // A head the model has never seen is a phantom — unless a TimeKits
+        // rollback was cut mid-flight, whose writes we mirror from flash.
+        for (&lpa, &(ts, ref data)) in &heads {
+            if self.model.version_at(lpa, ts).is_none() {
+                if self.in_rollback {
+                    let _ = self.model.record_write(lpa, data.clone(), ts);
+                } else {
+                    self.diverge(Divergence::PhantomVersion { lpa, ts });
+                }
+            }
+        }
+
+        let head_ts: BTreeMap<Lpa, Nanos> = heads.iter().map(|(&l, &(ts, _))| (l, ts)).collect();
+        self.model.on_power_cut(&head_ts, &buffered);
+        self.ssd = TimeSsd::recover_from_flash(flash, self.config.clone());
+        self.stalled = false;
+    }
+
+    // ---- the deep check ------------------------------------------------
+
+    /// Full structural comparison of device against model; returns true
+    /// when no new divergence was found.
+    pub fn check_now(&mut self) -> bool {
+        let before = self.divergences.len();
+        let now = self.clock;
+        let lpas: Vec<Lpa> = self.model.lpas().collect();
+        for lpa in lpas {
+            if self.divergences.len() >= MAX_DIVERGENCES {
+                break;
+            }
+            let chain = self.ssd.version_chain(lpa);
+
+            // 1. Strictly decreasing timestamps.
+            if !chain.windows(2).all(|w| w[0].timestamp > w[1].timestamp) {
+                self.diverge(Divergence::ChainOrder {
+                    lpa,
+                    chain: chain.iter().map(|v| v.timestamp).collect(),
+                });
+                continue;
+            }
+
+            // 2. Head agreement.
+            let dev_head = chain.first().filter(|v| v.is_head).map(|v| v.timestamp);
+            let model_head = self.model.current(lpa).map(|v| v.timestamp);
+            if dev_head != model_head {
+                self.diverge(Divergence::HeadMismatch {
+                    lpa,
+                    device: dev_head,
+                    model: model_head,
+                });
+            }
+
+            // 3. Soundness: every served version was actually written, and
+            // (capped) decodes to the written bytes.
+            for (i, v) in chain.iter().enumerate() {
+                if self.model.version_at(lpa, v.timestamp).is_none() {
+                    self.diverge(Divergence::PhantomVersion {
+                        lpa,
+                        ts: v.timestamp,
+                    });
+                } else if i < CONTENT_CHECK_CAP {
+                    self.verify_content(lpa, v.timestamp);
+                }
+            }
+
+            // 4. Obligation completeness: everything inside the guaranteed
+            // window is still served.
+            let served: Vec<Nanos> = chain.iter().map(|v| v.timestamp).collect();
+            let missing: Vec<(Nanos, Nanos)> = self
+                .model
+                .history(lpa)
+                .iter()
+                .filter(|mv| self.model.obligated(mv, now) && !served.contains(&mv.timestamp))
+                .map(|mv| {
+                    let basis = mv.basis.unwrap_or(now);
+                    (mv.timestamp, now.saturating_sub(basis))
+                })
+                .collect();
+            for (ts, age) in missing {
+                self.diverge(Divergence::MissingObligated { lpa, ts, age });
+            }
+        }
+
+        // 5. The device's own invariants.
+        let report = self.ssd.check_consistency();
+        if !report.is_clean() {
+            self.diverge(Divergence::ConsistencyViolations {
+                count: report.violations.len(),
+                sample: report
+                    .violations
+                    .iter()
+                    .take(4)
+                    .map(|v| format!("{v:?}"))
+                    .collect(),
+            });
+        }
+        self.divergences.len() == before
+    }
+}
+
+// ---- SsdDevice: anything that drives a device can drive the pair --------
+
+impl SsdDevice for DifferentialHarness {
+    fn write(&mut self, lpa: Lpa, data: PageData, now: Nanos) -> Result<Completion> {
+        self.clock = self.clock.max(now);
+        match self.ssd.write(lpa, data.clone(), now) {
+            Ok(c) => {
+                self.clock = self.clock.max(c.finish);
+                if let Err((prev, ts)) = self.model.record_write(lpa, data, c.start) {
+                    self.diverge(Divergence::ChainOrder {
+                        lpa,
+                        chain: vec![ts, prev],
+                    });
+                }
+                Ok(c)
+            }
+            Err(AlmanacError::Flash(FlashError::PowerLoss)) => {
+                // The cut fires before the write lands; recover and let the
+                // "host" reissue it once.
+                self.power_cycle();
+                let c = self.ssd.write(lpa, data.clone(), self.now.max(now))?;
+                self.clock = self.clock.max(c.finish);
+                if let Err((prev, ts)) = self.model.record_write(lpa, data, c.start) {
+                    self.diverge(Divergence::ChainOrder {
+                        lpa,
+                        chain: vec![ts, prev],
+                    });
+                }
+                Ok(c)
+            }
+            Err(e) => {
+                if matches!(e, AlmanacError::DeviceStalled { .. }) {
+                    self.stalled = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn read(&mut self, lpa: Lpa, now: Nanos) -> Result<(PageData, Completion)> {
+        self.clock = self.clock.max(now);
+        match self.ssd.read(lpa, now) {
+            Ok((data, c)) => {
+                self.clock = self.clock.max(c.finish);
+                if data.materialize(self.page_size()) != self.model.read_bytes(lpa) {
+                    self.diverge(Divergence::ReadMismatch { lpa, at: now });
+                }
+                Ok((data, c))
+            }
+            Err(AlmanacError::Flash(FlashError::PowerLoss)) => {
+                self.power_cycle();
+                let (data, c) = self.ssd.read(lpa, self.now.max(now))?;
+                self.clock = self.clock.max(c.finish);
+                if data.materialize(self.page_size()) != self.model.read_bytes(lpa) {
+                    self.diverge(Divergence::ReadMismatch { lpa, at: now });
+                }
+                Ok((data, c))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn trim(&mut self, lpa: Lpa, now: Nanos) -> Result<Completion> {
+        self.clock = self.clock.max(now);
+        let model_had_data = self.model.current(lpa).is_some();
+        match self.ssd.trim(lpa, now) {
+            Ok(c) => {
+                self.clock = self.clock.max(c.finish);
+                match self.ssd.trimmed_at(lpa) {
+                    Some(at) => self.model.record_trim(lpa, at),
+                    None => {
+                        // Device saw nothing to trim; the model must agree.
+                        if model_had_data {
+                            let model = self.model.current(lpa).map(|v| v.timestamp);
+                            self.diverge(Divergence::HeadMismatch {
+                                lpa,
+                                device: None,
+                                model,
+                            });
+                        }
+                    }
+                }
+                Ok(c)
+            }
+            Err(AlmanacError::Flash(FlashError::PowerLoss)) => {
+                self.power_cycle();
+                // Post-recovery the tombstone would be lost anyway; reissue.
+                let c = self.ssd.trim(lpa, self.now.max(now))?;
+                if let Some(at) = self.ssd.trimmed_at(lpa) {
+                    self.model.record_trim(lpa, at);
+                }
+                Ok(c)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn stats(&self) -> &DeviceStats {
+        self.ssd.stats()
+    }
+
+    fn exported_pages(&self) -> u64 {
+        self.model.exported_pages()
+    }
+
+    fn kind(&self) -> &'static str {
+        "timessd-differential"
+    }
+}
+
+/// Re-runs `ops` with a deep check after every op, so the reported
+/// `first_divergence_op` is the shortest prefix that reproduces the first
+/// detectable divergence. Deterministic: same ops, same answer.
+pub fn minimal_failing_prefix(config: &SsdConfig, ops: &[OracleOp]) -> DivergenceReport {
+    let mut h = DifferentialHarness::new(config.clone()).with_check_every(1);
+    h.run(ops)
+}

@@ -1,0 +1,40 @@
+//! # almanac-oracle — lockstep differential oracle for TimeSSD
+//!
+//! The TimeSSD firmware ([`almanac_core::TimeSsd`]) is a maze of
+//! interacting mechanisms: Bloom-chain retention windows, delta
+//! compression, OOB back-pointer chains, GC relocation, crash rebuild. Each
+//! has unit tests; this crate tests the *composition* against something
+//! trivially correct — a full-history map that never forgets anything
+//! ([`ModelDevice`]) — by running both in lockstep and comparing after
+//! every operation ([`DifferentialHarness`]).
+//!
+//! The comparison is retention-aware (see `DESIGN.md` §5c): the model
+//! distinguishes versions the device is **obligated** to serve (inside the
+//! guaranteed minimum retention window, §3.4 of the paper) from versions it
+//! is merely **allowed** to serve. A missing obligated version, a phantom
+//! version, wrong bytes, a broken chain order, or an internal-invariant
+//! violation is a [`Divergence`], reported with the shortest op prefix that
+//! reproduces it ([`minimal_failing_prefix`]).
+//!
+//! Three ways in:
+//!
+//! 1. [`DifferentialHarness`] implements
+//!    [`SsdDevice`](almanac_core::SsdDevice), so `trace::replay` can drive
+//!    it directly — every replayed read is checked byte-for-byte.
+//! 2. The [`strategy`] module generates adversarial [`OracleOp`] sequences
+//!    (hot/cold skew, equal-timestamp bursts, trims, GC pressure, power
+//!    cuts, rollback storms) for the deterministic proptest runner.
+//! 3. [`DifferentialHarness::apply`] accepts hand-written op sequences for
+//!    regression tests of specific divergences.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod model;
+pub mod report;
+pub mod strategy;
+
+pub use harness::{minimal_failing_prefix, DifferentialHarness};
+pub use model::{ModelDevice, ModelVersion};
+pub use report::{Divergence, DivergenceReport};
+pub use strategy::OracleOp;

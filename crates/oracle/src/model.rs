@@ -1,0 +1,311 @@
+//! The trivially-correct reference model.
+//!
+//! A [`ModelDevice`] is a full-history map: every write appends a version,
+//! every trim drops a tombstone, nothing is ever forgotten. Correctness of a
+//! real [`TimeSsd`](almanac_core::TimeSsd) is then a *containment* question,
+//! split by the paper's retention rule (§3.4) into two sets:
+//!
+//! - **obligated** versions — still inside the guaranteed minimum retention
+//!   window. The device MUST serve these; a missing obligated version is a
+//!   divergence.
+//! - **allowed** versions — older than the window. The device MAY still
+//!   serve them (the workload-adaptive window often retains longer), but may
+//!   also have expired them. Their absence is legal; their *content*, when
+//!   present, must still match the model.
+//!
+//! The retention clock of a version normally starts at its **invalidation**
+//! time (the write or trim that superseded it — that is when the device's
+//! Bloom chain learns about it). After a power cut the device rebuilds the
+//! chain from write timestamps (invalidation times are RAM-only), so the
+//! model downgrades each basis to the version's own write timestamp — a
+//! lower bound, matching the firmware's safe degradation.
+//!
+//! The boundary is deliberately strict on the drop side: a version whose age
+//! equals the minimum retention is still obligated; the device may expire it
+//! only strictly beyond the bound (`retention.rs::may_drop_oldest`).
+
+use std::collections::BTreeMap;
+
+use almanac_flash::{Lpa, Nanos, PageData};
+
+/// One write event remembered forever.
+#[derive(Debug, Clone)]
+pub struct ModelVersion {
+    /// Device-assigned write timestamp (learned from the write completion).
+    pub timestamp: Nanos,
+    /// Exact page content written.
+    pub data: PageData,
+    /// When this version stopped being current (superseding write or trim);
+    /// `None` while it is the live head.
+    pub invalidated: Option<Nanos>,
+    /// Retention-clock basis. `None` for a live head (never expires);
+    /// normally the invalidation time; downgraded to the own write timestamp
+    /// after a power cut (rebuild re-seeds the Bloom chain from write
+    /// timestamps).
+    pub basis: Option<Nanos>,
+    /// Obligation waived: the version lived only in volatile state (delta
+    /// buffer) at a power cut, or became unreachable from the rebuilt head.
+    /// A waived version may still be served; it just cannot be demanded.
+    pub waived: bool,
+}
+
+/// Full-history reference model of one TimeSSD.
+#[derive(Debug, Clone)]
+pub struct ModelDevice {
+    exported: u64,
+    page_size: usize,
+    min_retention: Nanos,
+    /// Per-LPA history, ascending by timestamp.
+    histories: BTreeMap<Lpa, Vec<ModelVersion>>,
+    /// Live trim tombstones (cleared by rewrite or power cut, like the
+    /// device's RAM-only `AmtEntry::Trimmed`).
+    tombstones: BTreeMap<Lpa, Nanos>,
+}
+
+impl ModelDevice {
+    /// An empty model for a device exporting `exported` pages.
+    pub fn new(exported: u64, page_size: usize, min_retention: Nanos) -> Self {
+        ModelDevice {
+            exported,
+            page_size,
+            min_retention,
+            histories: BTreeMap::new(),
+            tombstones: BTreeMap::new(),
+        }
+    }
+
+    /// Host-visible page count.
+    pub fn exported_pages(&self) -> u64 {
+        self.exported
+    }
+
+    /// Records a write the device acknowledged at `ts`.
+    ///
+    /// Returns `Err` with the offending timestamps when the device handed
+    /// out a timestamp that does not strictly increase within the LPA's
+    /// history — itself a divergence (two versions of one page must never
+    /// share a timestamp, §3.7's back-pointer chain cannot represent it).
+    pub fn record_write(&mut self, lpa: Lpa, data: PageData, ts: Nanos) -> Result<(), (Nanos, Nanos)> {
+        self.tombstones.remove(&lpa);
+        let hist = self.histories.entry(lpa).or_default();
+        if let Some(last) = hist.last_mut() {
+            if last.timestamp >= ts {
+                return Err((last.timestamp, ts));
+            }
+            if last.invalidated.is_none() {
+                last.invalidated = Some(ts);
+                last.basis = Some(ts);
+            }
+        }
+        hist.push(ModelVersion {
+            timestamp: ts,
+            data,
+            invalidated: None,
+            basis: None,
+            waived: false,
+        });
+        Ok(())
+    }
+
+    /// Records a trim the device applied with invalidation time `at`.
+    pub fn record_trim(&mut self, lpa: Lpa, at: Nanos) {
+        if let Some(hist) = self.histories.get_mut(&lpa) {
+            if let Some(last) = hist.last_mut() {
+                if last.invalidated.is_none() {
+                    last.invalidated = Some(at);
+                    last.basis = Some(at);
+                }
+            }
+        }
+        self.tombstones.insert(lpa, at);
+    }
+
+    /// The live head, unless the page is tombstoned or never written.
+    pub fn current(&self, lpa: Lpa) -> Option<&ModelVersion> {
+        if self.tombstones.contains_key(&lpa) {
+            return None;
+        }
+        self.histories
+            .get(&lpa)
+            .and_then(|h| h.last())
+            .filter(|v| v.invalidated.is_none())
+    }
+
+    /// What a host read of `lpa` must return right now.
+    pub fn read_bytes(&self, lpa: Lpa) -> Vec<u8> {
+        match self.current(lpa) {
+            Some(v) => v.data.materialize(self.page_size),
+            None => vec![0u8; self.page_size],
+        }
+    }
+
+    /// The version current "as of" `at`, mirroring the device's trim-aware
+    /// semantics: a live tombstone planted at or before `at` means the page
+    /// did not exist then.
+    pub fn as_of(&self, lpa: Lpa, at: Nanos) -> Option<&ModelVersion> {
+        if let Some(&t_trim) = self.tombstones.get(&lpa) {
+            if t_trim <= at {
+                return None;
+            }
+        }
+        self.histories
+            .get(&lpa)?
+            .iter()
+            .rev()
+            .find(|v| v.timestamp <= at)
+    }
+
+    /// The version written exactly at `ts`, if any.
+    pub fn version_at(&self, lpa: Lpa, ts: Nanos) -> Option<&ModelVersion> {
+        self.histories
+            .get(&lpa)?
+            .iter()
+            .find(|v| v.timestamp == ts)
+    }
+
+    /// Full ascending history of `lpa`.
+    pub fn history(&self, lpa: Lpa) -> &[ModelVersion] {
+        self.histories.get(&lpa).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The live tombstone time, if the page is currently trimmed.
+    pub fn trimmed_at(&self, lpa: Lpa) -> Option<Nanos> {
+        self.tombstones.get(&lpa).copied()
+    }
+
+    /// Every LPA with any recorded history.
+    pub fn lpas(&self) -> impl Iterator<Item = Lpa> + '_ {
+        self.histories.keys().copied()
+    }
+
+    /// The retention rule: must the device still serve `v` at `now`?
+    ///
+    /// Live heads are always obligated. Invalidated versions are obligated
+    /// while their age measured from `basis` is at most the minimum
+    /// retention — the device may drop them only strictly beyond the bound.
+    pub fn obligated(&self, v: &ModelVersion, now: Nanos) -> bool {
+        if v.waived {
+            return false;
+        }
+        match v.basis {
+            None => true,
+            Some(basis) => now.saturating_sub(basis) <= self.min_retention,
+        }
+    }
+
+    /// Applies the documented power-cut semantics to the model.
+    ///
+    /// `surviving_heads` is the newest durable data-page version per LPA (a
+    /// flash scan mirroring rebuild pass 1); `buffered` lists versions that
+    /// lived only in volatile delta buffers at the cut.
+    ///
+    /// - Trim tombstones are RAM-only → forgotten; the surviving head is
+    ///   resurrected as the live version.
+    /// - Invalidation times are RAM-only → every retention basis downgrades
+    ///   to the version's own write timestamp (matching the rebuilt Bloom
+    ///   chain, which can only shorten apparent retention).
+    /// - `buffered` versions are waived: volatile state is legally lost.
+    /// - Versions newer than the surviving head (possible when a trimmed
+    ///   head was compressed and its data page erased) become unreachable
+    ///   from the rebuilt mapping and are waived; see ROADMAP.
+    pub fn on_power_cut(
+        &mut self,
+        surviving_heads: &BTreeMap<Lpa, Nanos>,
+        buffered: &[(Lpa, Nanos)],
+    ) {
+        for (lpa, hist) in self.histories.iter_mut() {
+            let head_ts = surviving_heads.get(lpa).copied();
+            for v in hist.iter_mut() {
+                if v.invalidated.is_some() {
+                    v.basis = Some(v.timestamp);
+                }
+                if let Some(h) = head_ts {
+                    if v.timestamp > h {
+                        v.waived = true;
+                    }
+                }
+            }
+            if let Some(h) = head_ts {
+                if let Some(v) = hist.iter_mut().find(|v| v.timestamp == h) {
+                    // Resurrected: the rebuild maps this page as the head.
+                    v.invalidated = None;
+                    v.basis = None;
+                    v.waived = false;
+                }
+            }
+        }
+        for &(lpa, ts) in buffered {
+            if let Some(hist) = self.histories.get_mut(&lpa) {
+                if let Some(v) = hist.iter_mut().find(|v| v.timestamp == ts) {
+                    // Still resurrect-able from a reclaimable data page, so
+                    // only the obligation is dropped, not the version.
+                    if v.invalidated.is_some() {
+                        v.waived = true;
+                    }
+                }
+            }
+        }
+        self.tombstones.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> PageData {
+        PageData::Synthetic { seed: 7, version: n }
+    }
+
+    #[test]
+    fn write_trim_as_of_round_trip() {
+        let mut m = ModelDevice::new(64, 4096, 100);
+        m.record_write(Lpa(3), page(1), 10).unwrap();
+        m.record_write(Lpa(3), page(2), 20).unwrap();
+        assert_eq!(m.current(Lpa(3)).unwrap().timestamp, 20);
+        assert_eq!(m.as_of(Lpa(3), 15).unwrap().timestamp, 10);
+        m.record_trim(Lpa(3), 30);
+        assert!(m.current(Lpa(3)).is_none());
+        assert!(m.as_of(Lpa(3), 30).is_none());
+        assert_eq!(m.as_of(Lpa(3), 29).unwrap().timestamp, 20);
+        // Rewrite forgets the tombstone (interior gap).
+        m.record_write(Lpa(3), page(3), 40).unwrap();
+        assert_eq!(m.as_of(Lpa(3), 35).unwrap().timestamp, 20);
+    }
+
+    #[test]
+    fn obligation_boundary_is_inclusive() {
+        let mut m = ModelDevice::new(64, 4096, 100);
+        m.record_write(Lpa(0), page(1), 10).unwrap();
+        m.record_write(Lpa(0), page(2), 50).unwrap();
+        let old = &m.history(Lpa(0))[0];
+        assert_eq!(old.basis, Some(50));
+        assert!(m.obligated(old, 150), "age == min_retention stays obligated");
+        assert!(!m.obligated(old, 151), "strictly beyond the bound may drop");
+        let head = &m.history(Lpa(0))[1];
+        assert!(m.obligated(head, Nanos::MAX), "live head never expires");
+    }
+
+    #[test]
+    fn equal_timestamp_write_is_rejected() {
+        let mut m = ModelDevice::new(64, 4096, 100);
+        m.record_write(Lpa(1), page(1), 10).unwrap();
+        assert_eq!(m.record_write(Lpa(1), page(2), 10), Err((10, 10)));
+    }
+
+    #[test]
+    fn power_cut_downgrades_bases_and_resurrects() {
+        let mut m = ModelDevice::new(64, 4096, 100);
+        m.record_write(Lpa(5), page(1), 10).unwrap();
+        m.record_write(Lpa(5), page(2), 20).unwrap();
+        m.record_trim(Lpa(5), 30);
+        let mut heads = BTreeMap::new();
+        heads.insert(Lpa(5), 20);
+        m.on_power_cut(&heads, &[]);
+        assert!(m.trimmed_at(Lpa(5)).is_none());
+        let head = m.current(Lpa(5)).expect("trim resurrected");
+        assert_eq!(head.timestamp, 20);
+        let old = &m.history(Lpa(5))[0];
+        assert_eq!(old.basis, Some(10), "basis downgraded to own write ts");
+    }
+}

@@ -1,0 +1,200 @@
+//! Adversarial op-sequence generators for the differential oracle.
+//!
+//! Each strategy yields a `Vec<OracleOp>` aimed at a known-delicate corner
+//! of the retention machinery: hot/cold skew (version chains of very
+//! different depth), equal-timestamp bursts (arrival times repeat; device
+//! clocks must still hand out unique per-page timestamps), trims (tombstone
+//! semantics), GC pressure (small device, relocation + expiry during user
+//! traffic), power cuts (rebuild contract), and rollback storms (TimeKits
+//! read-modify-write against history).
+//!
+//! All strategies are deterministic under the in-tree proptest stub — a CI
+//! failure reproduces locally with the same seed.
+
+use almanac_flash::{Nanos, MS_NS, SEC_NS, US_NS};
+use proptest::{collection, prop_oneof, BoxedStrategy, Just, Strategy};
+
+/// One step of a differential run (see `DifferentialHarness::apply`).
+///
+/// Page numbers are taken modulo the device's exported page count at apply
+/// time, so one generated sequence is valid for any geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleOp {
+    /// Advance virtual time, then write a fresh synthetic version.
+    Write {
+        /// Logical page (modulo exported).
+        lpa: u64,
+        /// Virtual-time gap before the op.
+        gap: Nanos,
+    },
+    /// Write real bytes (exercises the byte-diff delta path).
+    WriteBytes {
+        /// Logical page (modulo exported).
+        lpa: u64,
+        /// Byte fill tag.
+        tag: u8,
+        /// Virtual-time gap before the op.
+        gap: Nanos,
+    },
+    /// Host read, compared byte-for-byte against the model.
+    Read {
+        /// Logical page (modulo exported).
+        lpa: u64,
+        /// Virtual-time gap before the op.
+        gap: Nanos,
+    },
+    /// TRIM, compared via tombstone semantics.
+    Trim {
+        /// Logical page (modulo exported).
+        lpa: u64,
+        /// Virtual-time gap before the op.
+        gap: Nanos,
+    },
+    /// `version_as_of(lpa, now − back)` compared against the model.
+    AsOf {
+        /// Logical page (modulo exported).
+        lpa: u64,
+        /// How far back from now to query.
+        back: Nanos,
+        /// Virtual-time gap before the op.
+        gap: Nanos,
+    },
+    /// TimeKits rollback of `cnt` pages at `lpa` to `now − back`.
+    RollBack {
+        /// First logical page (modulo exported).
+        lpa: u64,
+        /// Pages in the span.
+        cnt: u64,
+        /// How far back from now to roll.
+        back: Nanos,
+        /// Virtual-time gap before the op.
+        gap: Nanos,
+    },
+    /// Power-cut the device and recover it from flash.
+    PowerCut,
+    /// Run the full deep check (chains, obligations, consistency).
+    Check,
+}
+
+fn hot_cold_lpa(domain: u64) -> BoxedStrategy<u64> {
+    // 80% of ops hit the hottest 20% of the domain.
+    let hot = (domain / 5).max(1);
+    prop_oneof![
+        4 => 0u64..hot,
+        1 => 0u64..domain,
+    ]
+    .boxed()
+}
+
+fn small_gap() -> BoxedStrategy<Nanos> {
+    prop_oneof![
+        Just(0),
+        1u64..100 * US_NS,
+        1u64..10 * MS_NS,
+    ]
+    .boxed()
+}
+
+/// Hot/cold skewed writes with reads and as-of probes sprinkled in.
+///
+/// Hot pages grow deep version chains (compression, long Bloom walks);
+/// cold pages keep shallow ones. Periodic checks catch cross-talk.
+pub fn skewed_writes(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {
+    let op = prop_oneof![
+        6 => (hot_cold_lpa(domain), small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Write { lpa, gap }),
+        2 => (hot_cold_lpa(domain), small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Read { lpa, gap }),
+        2 => (hot_cold_lpa(domain), (0u64..10 * SEC_NS), small_gap())
+            .prop_map(|(lpa, back, gap)| OracleOp::AsOf { lpa, back, gap }),
+        1 => Just(OracleOp::Check),
+    ];
+    collection::vec(op, ops).boxed()
+}
+
+/// Write/trim interleavings: tombstones, re-writes over tombstones, reads
+/// and as-of probes around the trim instant.
+pub fn trim_heavy(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {
+    let op = prop_oneof![
+        4 => (0u64..domain, small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Write { lpa, gap }),
+        3 => (0u64..domain, small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Trim { lpa, gap }),
+        2 => (0u64..domain, small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Read { lpa, gap }),
+        2 => (0u64..domain, (0u64..5 * SEC_NS), small_gap())
+            .prop_map(|(lpa, back, gap)| OracleOp::AsOf { lpa, back, gap }),
+        1 => Just(OracleOp::Check),
+    ];
+    collection::vec(op, ops).boxed()
+}
+
+/// Equal-arrival-time bursts: long runs of `gap == 0` force the device's
+/// `last_ts + 1` tie-breaking; the model rejects any duplicate timestamp
+/// the device would hand out.
+pub fn equal_ts_bursts(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {
+    let op = prop_oneof![
+        8 => (0u64..domain)
+            .prop_map(|lpa| OracleOp::Write { lpa, gap: 0 }),
+        2 => (0u64..domain)
+            .prop_map(|lpa| OracleOp::Trim { lpa, gap: 0 }),
+        2 => (0u64..domain, (0u64..SEC_NS))
+            .prop_map(|(lpa, back)| OracleOp::AsOf { lpa, back, gap: 0 }),
+        1 => (0u64..domain, (1u64..SEC_NS))
+            .prop_map(|(lpa, gap)| OracleOp::Write { lpa, gap }),
+        1 => Just(OracleOp::Check),
+    ];
+    collection::vec(op, ops).boxed()
+}
+
+/// Sustained overwrite pressure on a small device: GC must relocate and
+/// expire mid-stream while the oracle watches obligations.
+///
+/// Pair with a small geometry and a short `min_retention`; stalls are a
+/// measured outcome, not a failure.
+pub fn gc_pressure(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {
+    let op = prop_oneof![
+        10 => (0u64..domain, (0u64..50 * MS_NS))
+            .prop_map(|(lpa, gap)| OracleOp::Write { lpa, gap }),
+        2 => (0u64..domain, (0u64..50 * MS_NS))
+            .prop_map(|(lpa, gap)| OracleOp::WriteBytes { lpa, tag: (lpa % 251) as u8, gap }),
+        1 => (0u64..domain, (0u64..50 * MS_NS))
+            .prop_map(|(lpa, gap)| OracleOp::Trim { lpa, gap }),
+        1 => Just(OracleOp::Check),
+    ];
+    collection::vec(op, ops).boxed()
+}
+
+/// Traffic with power cuts sprinkled in: each cut discards RAM state and
+/// recovers from flash; the oracle then enforces the documented crash
+/// contract (durable versions survive, bases downgrade, tombstones vanish).
+pub fn power_cut_recovery(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {
+    let op = prop_oneof![
+        6 => (0u64..domain, small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Write { lpa, gap }),
+        1 => (0u64..domain, small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Trim { lpa, gap }),
+        2 => (0u64..domain, small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Read { lpa, gap }),
+        1 => Just(OracleOp::PowerCut),
+        1 => Just(OracleOp::Check),
+    ];
+    collection::vec(op, ops).boxed()
+}
+
+/// Rollback storms: writes interleaved with span rollbacks to random past
+/// instants, each verified page-by-page against the model's as-of answer.
+pub fn rollback_storm(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {
+    let op = prop_oneof![
+        6 => (0u64..domain, small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Write { lpa, gap }),
+        1 => (0u64..domain, small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Trim { lpa, gap }),
+        2 => (0u64..domain, (1u64..4), (0u64..5 * SEC_NS), small_gap())
+            .prop_map(|(lpa, cnt, back, gap)| OracleOp::RollBack { lpa, cnt, back, gap }),
+        2 => (0u64..domain, (0u64..5 * SEC_NS), small_gap())
+            .prop_map(|(lpa, back, gap)| OracleOp::AsOf { lpa, back, gap }),
+        1 => Just(OracleOp::Check),
+    ];
+    collection::vec(op, ops).boxed()
+}
