@@ -183,6 +183,56 @@ impl Allocator {
         })
     }
 
+    /// Rolls back the most recent page allocation after a *failed* program.
+    ///
+    /// The flash chip never wrote the page, so its block's write pointer did
+    /// not advance; handing out the next offset would wedge the block with
+    /// non-sequential-program errors forever. Returning the offset keeps the
+    /// allocation sequence aligned with the chip. Must be called only for
+    /// the allocation immediately preceding the failure.
+    pub fn unreserve_page(&mut self, ppa: Ppa) {
+        let block = self.geometry.block_of(ppa);
+        let off = self.geometry.page_offset(ppa);
+        // The block may sit in any channel's slot, not just its home
+        // channel's: `next_page_from` falls back to the richest channel's
+        // free pool, so a slot can hold a block owned by another channel.
+        // Search every slot or the rewind silently misses and the slot
+        // wedges on non-sequential programs.
+        for list in [&mut self.active, &mut self.active_gc] {
+            for open in list.iter_mut().flatten() {
+                if open.block == block && open.next_off == off + 1 {
+                    open.next_off = off;
+                    return;
+                }
+            }
+        }
+        // The failed page was the block's last: allocation closed the block,
+        // so reinstate it in whichever slot is free (home channel first).
+        if off + 1 == self.geometry.pages_per_block {
+            let ch = self.geometry.channel_of_block(block) as usize;
+            for list in [&mut self.active, &mut self.active_gc] {
+                if list[ch].is_none() {
+                    list[ch] = Some(OpenBlock {
+                        block,
+                        next_off: off,
+                    });
+                    return;
+                }
+            }
+            for list in [&mut self.active, &mut self.active_gc] {
+                for slot in list.iter_mut() {
+                    if slot.is_none() {
+                        *slot = Some(OpenBlock {
+                            block,
+                            next_off: off,
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
     /// True if `block` is currently open for host writes or migrations.
     pub fn is_active(&self, block: BlockId) -> bool {
         self.active
@@ -272,6 +322,77 @@ mod tests {
         let before = a.free_blocks();
         a.release(b);
         assert_eq!(a.free_blocks(), before + 1);
+    }
+
+    #[test]
+    fn unreserve_rewinds_the_open_block() {
+        let g = Geometry::small_test();
+        let mut a = Allocator::new(g);
+        let (_p0, _) = a.next_data_page().unwrap(); // channel 0
+        let (_p1, _) = a.next_data_page().unwrap(); // channel 1
+        let (p2, _) = a.next_data_page().unwrap(); // channel 0, offset 1
+        a.unreserve_page(p2);
+        // Round-robin continues on channel 1; channel 0 then re-hands the
+        // exact page whose program failed.
+        let (_p3, _) = a.next_data_page().unwrap();
+        let (p4, opened) = a.next_data_page().unwrap();
+        assert_eq!(p4, p2, "retry must reuse the failed page's offset");
+        assert!(opened.is_none());
+    }
+
+    #[test]
+    fn unreserve_rewinds_a_cross_channel_block() {
+        // Regression: drain channel 0's free pool so its slot opens a block
+        // borrowed from channel 1 (the richest-pool fallback). A rewind for
+        // that block must find it in channel 0's slot — looking only under
+        // the block's home channel misses it, the slot's offset stays
+        // advanced, and every later program from the slot is non-sequential
+        // (found by long_fuzz fault injection).
+        let g = Geometry::small_test();
+        let mut a = Allocator::new(g);
+        for _ in 0..8 {
+            a.alloc_block(Some(0)).unwrap();
+        }
+        let (p0, _) = a.next_data_page().unwrap();
+        let borrowed = g.block_of(p0);
+        assert_eq!(
+            g.channel_of_block(borrowed),
+            1,
+            "scenario requires a borrowed block"
+        );
+        let (_p1, _) = a.next_data_page().unwrap(); // channel 1's own slot
+        let (p2, _) = a.next_data_page().unwrap(); // borrowed block, offset 1
+        assert_eq!(g.block_of(p2), borrowed);
+        a.unreserve_page(p2);
+        let (_p3, _) = a.next_data_page().unwrap();
+        let (p4, _) = a.next_data_page().unwrap();
+        assert_eq!(p4, p2, "retry must reuse the failed page's offset");
+    }
+
+    #[test]
+    fn unreserve_reopens_a_block_closed_by_its_last_page() {
+        let g = Geometry::small_test();
+        let mut a = Allocator::new(g);
+        let (first, _) = a.next_data_page().unwrap();
+        let block = g.block_of(first);
+        let mut last = first;
+        // Drain both channels' first blocks; the final allocation of `block`
+        // closes it.
+        for _ in 0..(2 * g.pages_per_block - 1) {
+            let (p, _) = a.next_data_page().unwrap();
+            if g.block_of(p) == block {
+                last = p;
+            }
+        }
+        assert!(!a.is_active(block));
+        assert_eq!(g.page_offset(last), g.pages_per_block - 1);
+        a.unreserve_page(last);
+        assert!(a.is_active(block), "failed last-page program must reopen");
+        // The reopened block re-hands the failed page within one rotation.
+        let got = (0..g.channels)
+            .map(|_| a.next_data_page().unwrap().0)
+            .any(|p| p == last);
+        assert!(got, "retry never reused the failed last page");
     }
 
     #[test]

@@ -23,9 +23,10 @@ pub enum AmtEntry {
     /// Trimmed: reads return zeros, but the old version chain stays
     /// reachable through the remembered head so TimeKits can recover
     /// deleted data. Carries the trim time so as-of queries know when the
-    /// page stopped existing (RAM-only, like the rest of the AMT: a
-    /// rewrite forgets the tombstone, and a power cut loses it — the
-    /// rebuild scan resurrects the newest on-flash version).
+    /// page stopped existing. A rewrite forgets the tombstone; a power cut
+    /// does not — every trim journals a durable TRIM record into the delta
+    /// stream, and the rebuild scan replays the newest surviving record
+    /// back into this state.
     Trimmed(Ppa, Nanos),
 }
 
@@ -337,6 +338,12 @@ impl Imt {
     /// Removes the chain head (when the whole delta chain expired).
     pub fn remove(&mut self, lpa: Lpa) -> Option<(Ppa, Nanos)> {
         self.heads.remove(&lpa)
+    }
+
+    /// Iterates every `(lpa, (delta page, newest ts))` head — used by the
+    /// consistency checker's reachability audit.
+    pub fn iter(&self) -> impl Iterator<Item = (Lpa, (Ppa, Nanos))> + '_ {
+        self.heads.iter().map(|(l, h)| (*l, *h))
     }
 
     /// Number of LPAs with compressed versions.

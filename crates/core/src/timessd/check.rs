@@ -39,6 +39,13 @@ pub enum Violation {
     ChainOrderViolation(Lpa),
     /// A delta block's filter is neither live nor pending erase bookkeeping.
     OrphanDeltaBlock(u64),
+    /// An AMT tombstone inside the retention window has no TRIM record in
+    /// the delta stream — the trim would silently un-happen at the next
+    /// power cut.
+    UnjournaledTombstone(Lpa, u64),
+    /// The IMT's newest compressed version for an LPA still sits in a live
+    /// flushed delta page, but the version chain walk never reaches it.
+    UnreachableFlushedDelta(Lpa, u64),
 }
 
 impl fmt::Display for Violation {
@@ -65,6 +72,12 @@ impl fmt::Display for Violation {
                 write!(f, "{l} version chain timestamps not strictly decreasing")
             }
             Violation::OrphanDeltaBlock(b) => write!(f, "delta block B{b} has no live filter"),
+            Violation::UnjournaledTombstone(l, ts) => {
+                write!(f, "{l} trimmed at {ts}ns with no journalled TRIM record")
+            }
+            Violation::UnreachableFlushedDelta(l, ts) => {
+                write!(f, "{l}: flushed delta version at {ts}ns unreachable from chain walk")
+            }
         }
     }
 }
@@ -178,29 +191,93 @@ impl TimeSsd {
         //    legal head-also-compressed freeze, see `version_chain`). The
         //    traversal itself drops out-of-order hops defensively, so the
         //    IMT cross-check is what makes a disordered index *observable*
-        //    here rather than silently truncating the chain. Skipped on
-        //    rebuilt devices: a power cut can legitimately leave the newest
-        //    surviving version in a delta while an older data page is
-        //    remapped as head (tracked in ROADMAP).
-        let rebuilt = !self.recovered_deltas.is_empty();
+        //    here rather than silently truncating the chain. This holds on
+        //    rebuilt devices too: recovery promotes delta-only heads to
+        //    `Trimmed` entries, so a `Mapped` head is always at least as
+        //    new as the IMT's compressed versions.
         for (lpa, entry) in self.amt.iter() {
             if matches!(entry, AmtEntry::Unmapped) && self.imt.head(lpa).is_none() {
                 continue;
             }
-            if !rebuilt {
-                if let (AmtEntry::Mapped(head), Some((_, imt_ts))) = (entry, self.imt.head(lpa)) {
-                    if let Ok((_, oob)) = self.flash.peek(head) {
-                        if imt_ts > oob.timestamp {
-                            report.violations.push(Violation::ChainOrderViolation(lpa));
-                            continue; // the walk below would mask it
-                        }
+            let mut cross_order = false;
+            if let (AmtEntry::Mapped(head), Some((_, imt_ts))) = (entry, self.imt.head(lpa)) {
+                if let Ok((_, oob)) = self.flash.peek(head) {
+                    if imt_ts > oob.timestamp {
+                        report.violations.push(Violation::ChainOrderViolation(lpa));
+                        cross_order = true; // the walk below would mask it
                     }
                 }
             }
             let chain = self.version_chain(lpa);
             report.chain_entries += chain.len() as u64;
-            if !chain.windows(2).all(|w| w[0].timestamp > w[1].timestamp) {
+            if !cross_order && !chain.windows(2).all(|w| w[0].timestamp > w[1].timestamp) {
                 report.violations.push(Violation::ChainOrderViolation(lpa));
+            }
+            // Every flushed delta version still in a live filter must be
+            // reachable: if the IMT's newest record physically survives in
+            // a live delta page, the walk must surface that timestamp.
+            if let Some((dpage, imt_ts)) = self.imt.head(lpa) {
+                if self.delta_page_live(dpage) {
+                    let present = self.delta_page_at(dpage).is_some_and(|dp| {
+                        dp.deltas
+                            .iter()
+                            .any(|d| d.lpa == lpa && d.timestamp == imt_ts && !d.is_trim())
+                    });
+                    if present && !chain.iter().any(|v| v.timestamp == imt_ts) {
+                        report
+                            .violations
+                            .push(Violation::UnreachableFlushedDelta(lpa, imt_ts));
+                    }
+                }
+            }
+        }
+
+        // 4. Durable-trim audit: every tombstone whose trim instant is still
+        //    inside the retention window must have a matching TRIM record in
+        //    the delta stream (flushed pages or the unflushed buffers).
+        //    Records expire with their filter, but a record's filter is
+        //    always dropped only once the window start has moved past the
+        //    trim instant, so an in-window tombstone without a record means
+        //    the journal write was skipped — the trim would not survive a
+        //    power cut, violating the crash contract.
+        let window_start = self.chain.retention_start();
+        let mut tombstones: Vec<(Lpa, u64)> = Vec::new();
+        for (lpa, entry) in self.amt.iter() {
+            if let AmtEntry::Trimmed(_, ts) = entry {
+                if window_start.is_some_and(|start| ts >= start) {
+                    tombstones.push((lpa, ts));
+                }
+            }
+        }
+        if !tombstones.is_empty() {
+            let mut journalled: HashSet<(Lpa, u64)> = HashSet::new();
+            let mut note = |dp: &almanac_flash::DeltaPage| {
+                for d in &dp.deltas {
+                    if d.is_trim() {
+                        journalled.insert((d.lpa, d.timestamp));
+                    }
+                }
+            };
+            for (block, info) in self.bst.iter() {
+                if !matches!(info.kind, BlockKind::Delta(_)) {
+                    continue;
+                }
+                for off in 0..info.written.min(geo.pages_per_block) {
+                    if let Ok((PageData::DeltaPage(dp), _)) = self.flash.peek(geo.ppa(block.0, off))
+                    {
+                        note(dp);
+                    }
+                }
+            }
+            for dp in self.deltas.buffered_pages() {
+                note(dp);
+            }
+            for (lpa, ts) in tombstones {
+                if !journalled.contains(&(lpa, ts)) {
+                    report
+                        .violations
+                        .push(Violation::UnjournaledTombstone(lpa, ts));
+                }
             }
         }
         report
@@ -382,6 +459,70 @@ mod tests {
         assert!(report
             .violations
             .contains(&Violation::OrphanDeltaBlock(block.0)));
+    }
+
+    #[test]
+    fn detects_unjournaled_tombstone() {
+        let mut ssd = built();
+        let head = head_of(&ssd, Lpa(4));
+        let (_, oob) = ssd.flash.peek(head).unwrap();
+        // Forge the RAM-side tombstone without writing the journal record —
+        // exactly the state the pre-journal trim path used to leave.
+        let ts = oob.timestamp + 1;
+        ssd.pvt.set(head, false);
+        let block = ssd.config.geometry.block_of(head);
+        ssd.bst.get_mut(block).valid -= 1;
+        ssd.amt.set(Lpa(4), AmtEntry::Trimmed(head, ts));
+        let report = ssd.check_consistency();
+        assert!(report
+            .violations
+            .contains(&Violation::UnjournaledTombstone(Lpa(4), ts)));
+    }
+
+    #[test]
+    fn journalled_trim_passes_the_audit() {
+        let mut ssd = built();
+        ssd.trim(Lpa(4), 10_000 * SEC_NS).unwrap();
+        assert!(matches!(ssd.amt.get(Lpa(4)), AmtEntry::Trimmed(..)));
+        let report = ssd.check_consistency();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn detects_unreachable_flushed_delta() {
+        use almanac_flash::{DeltaBody, DeltaRecord};
+        let mut ssd = built();
+        let lpa = Lpa(6);
+        let head = head_of(&ssd, lpa);
+        let (_, oob) = ssd.flash.peek(head).unwrap();
+        let ts = oob.timestamp + 10;
+        // Flush a genuine delta record *newer* than the data-page head and
+        // index it in the IMT, but leave the AMT pointing at the stale data
+        // page: the chain walk refuses the `newest > head` jump, so the
+        // flushed version is unreachable — the exact state a pre-promotion
+        // rebuild used to produce after a trimmed head was reclaimed.
+        let group = ssd.group_of(head);
+        let fid = ssd.chain.insert(group, ts);
+        let rec = DeltaRecord {
+            lpa,
+            back_ptr: Some(head),
+            timestamp: ts,
+            ref_timestamp: ts,
+            body: DeltaBody::Zeros,
+            size: 8,
+        };
+        let out = ssd
+            .deltas
+            .append(fid, rec, &mut ssd.alloc, &mut ssd.bst, &mut ssd.flash, ts)
+            .unwrap();
+        ssd.deltas
+            .flush_filter(fid, &mut ssd.bst, &mut ssd.flash, out.finish)
+            .unwrap();
+        ssd.imt.set_head(lpa, out.page, ts);
+        let report = ssd.check_consistency();
+        assert!(report
+            .violations
+            .contains(&Violation::UnreachableFlushedDelta(lpa, ts)));
     }
 
     #[test]

@@ -161,6 +161,10 @@ impl DeltaManager {
     }
 
     /// Flushes `filter`'s buffer (if any) to its reserved flash page.
+    ///
+    /// On a failed program (power loss, injected fault) the buffer is kept:
+    /// the records are still in RAM and a retry targets the same reserved
+    /// page, so nothing is silently lost while the device is still alive.
     pub fn flush_filter(
         &mut self,
         filter: FilterId,
@@ -168,19 +172,42 @@ impl DeltaManager {
         flash: &mut FlashArray,
         now: Nanos,
     ) -> Result<(Nanos, u64)> {
-        let Some(buf) = self.buffers.remove(&filter) else {
+        let Some(buf) = self.buffers.get(&filter) else {
             return Ok((now, 0));
         };
         let oob = Oob::new(DELTA_PAGE_OOB_LPA, None, now);
         let finish = flash.program(
             buf.reserved,
-            almanac_flash::PageData::DeltaPage(std::sync::Arc::new(buf.page)),
+            almanac_flash::PageData::DeltaPage(std::sync::Arc::new(buf.page.clone())),
             oob,
             now,
         )?;
         let block = self.geometry.block_of(buf.reserved);
+        self.buffers.remove(&filter);
         bst.get_mut(block).written += 1;
         Ok((finish, 1))
+    }
+
+    /// Journals a trim tombstone: appends the TRIM record to `filter`'s
+    /// buffer and immediately flushes that buffer, so the tombstone is
+    /// durable on flash when the call returns. Any compressed deltas
+    /// sharing the buffer simply become durable a little early.
+    pub fn journal_trim(
+        &mut self,
+        filter: FilterId,
+        record: DeltaRecord,
+        alloc: &mut Allocator,
+        bst: &mut Bst,
+        flash: &mut FlashArray,
+        now: Nanos,
+    ) -> Result<AppendOutcome> {
+        let out = self.append(filter, record, alloc, bst, flash, now)?;
+        let (finish, programs) = self.flush_filter(filter, bst, flash, out.finish)?;
+        Ok(AppendOutcome {
+            page: out.page,
+            finish,
+            programs: out.programs + programs,
+        })
     }
 
     /// Flushes every buffer (shutdown / test hook).
@@ -207,6 +234,13 @@ impl DeltaManager {
             .values()
             .find(|b| b.reserved == ppa)
             .map(|b| &b.page)
+    }
+
+    /// Iterates over every reserved-but-unflushed delta page (consistency
+    /// checking: buffered TRIM records count toward the durable-trim audit
+    /// only once flushed, but buffered pages are still part of the stream).
+    pub fn buffered_pages(&self) -> impl Iterator<Item = &DeltaPage> {
+        self.buffers.values().map(|b| &b.page)
     }
 
     /// Forgets a filter: discards its buffer and active block and returns the

@@ -375,6 +375,19 @@ impl TimeSsd {
         let (data, oob, rt) = self.flash.read(ppa, t)?;
         t = rt;
         self.note_read(Cause::Gc);
+        // A stale twin left by an aborted pass (the page was migrated, then
+        // a failed program stopped GC before the victim erase) still carries
+        // a version that lives on elsewhere in the chain. Recording it again
+        // would plant a duplicate delta whose timestamp collides with the
+        // live copy; the bytes are already safe, so just reclaim the page.
+        if self
+            .version_chain(oob.lpa)
+            .iter()
+            .any(|v| v.timestamp == oob.timestamp && v.location.ppa() != ppa)
+        {
+            self.mark_reclaimable(ppa);
+            return Ok(t);
+        }
         let Some(fid) = self.chain.find(self.group_of(ppa)) else {
             self.mark_reclaimable(ppa);
             return Ok(t);

@@ -243,9 +243,15 @@ impl TimeSsd {
         if let Some(b) = opened {
             self.bst.get_mut(b).kind = BlockKind::Data;
         }
-        let finish = self
-            .flash
-            .program(ppa, data, Oob::new(lpa, back_ptr, ts), at)?;
+        let finish = match self.flash.program(ppa, data, Oob::new(lpa, back_ptr, ts), at) {
+            Ok(t) => t,
+            Err(e) => {
+                // The chip never wrote the page; return the offset so the
+                // block's program sequence stays aligned (a retry succeeds).
+                self.alloc.unreserve_page(ppa);
+                return Err(e.into());
+            }
+        };
         let block = self.config.geometry.block_of(ppa);
         let info = self.bst.get_mut(block);
         info.written += 1;
@@ -290,13 +296,23 @@ impl TimeSsd {
         if let Some(b) = opened {
             self.bst.get_mut(b).kind = BlockKind::Data;
         }
+        // Program the new copy while the old one is still valid and mapped:
+        // a failed program (injected fault, power loss) must leave the old
+        // copy untouched — invalidating first would strand the owner mapped
+        // to a page already marked invalid.
+        let fixed_oob = Oob::new(owner.unwrap_or(oob.lpa), oob.back_ptr, oob.timestamp);
+        let finish = match self.flash.program(ppa, data, fixed_oob, rt) {
+            Ok(t) => t,
+            Err(e) => {
+                self.alloc.unreserve_page(ppa);
+                return Err(e.into());
+            }
+        };
         // The old physical copy ceases to exist; it is not an invalidation
         // in the version-history sense, so it does not enter the Bloom
         // filters.
         self.pvt.set(old, false);
         self.bst.get_mut(self.config.geometry.block_of(old)).valid -= 1;
-        let fixed_oob = Oob::new(owner.unwrap_or(oob.lpa), oob.back_ptr, oob.timestamp);
-        let finish = self.flash.program(ppa, data, fixed_oob, rt)?;
         let block = self.config.geometry.block_of(ppa);
         let info = self.bst.get_mut(block);
         info.written += 1;
@@ -407,7 +423,9 @@ impl SsdDevice for TimeSsd {
     fn trim(&mut self, lpa: Lpa, now: Nanos) -> Result<Completion> {
         self.check_lpa(lpa)?;
         self.idle.on_arrival(now);
+        self.maybe_gc(now)?;
         let start = now.max(self.busy_until);
+        let mut finish = start + self.config.latency.transfer_ns;
         if let AmtEntry::Mapped(old) = self.amt.get(lpa) {
             // Invalidation times recorded in the Bloom chain must never
             // regress: back-to-back writes push `last_ts` ahead of wall
@@ -415,15 +433,40 @@ impl SsdDevice for TimeSsd {
             // filter's youngest entry would let `may_drop_oldest`
             // overestimate those entries' ages and expire them early.
             let inv_ts = start.max(self.last_ts);
+            // Journal the tombstone into the filter segment that records
+            // this invalidation, and flush it, *before* any RAM state
+            // changes: deletion must be durable once the trim completes
+            // (§3.7 crash contract), and record + versions then expire
+            // together with the filter. A failed journal program leaves
+            // the trim un-applied — only a spurious Bloom insert remains,
+            // a false positive the filters tolerate by design.
+            let group = self.group_of(old);
+            let fid = self.chain.insert(group, inv_ts);
+            let out = self.deltas.journal_trim(
+                fid,
+                almanac_flash::DeltaRecord::trim(lpa, old, inv_ts),
+                &mut self.alloc,
+                &mut self.bst,
+                &mut self.flash,
+                start,
+            )?;
+            self.stats.delta_programs += out.programs;
+            finish = finish.max(out.finish);
             // Remember the chain head (and when it stopped existing) so
             // deleted data stays recoverable and as-of queries know the
             // page read as zeros from here on.
             self.amt.set(lpa, AmtEntry::Trimmed(old, inv_ts));
-            self.invalidate_retain(old, inv_ts);
+            self.pvt.set(old, false);
+            let block = self.config.geometry.block_of(old);
+            self.bst.get_mut(block).valid -= 1;
+            self.bg_scan_pointless = false;
             self.gmd.note_update(lpa);
+            // Later writes must timestamp strictly after the trim, or the
+            // on-flash order (journal record vs. rewrite) is ambiguous at
+            // rebuild time.
+            self.last_ts = inv_ts;
         }
         self.stats.user_trims += 1;
-        let finish = start + self.config.latency.transfer_ns;
         self.last_io_end = self.last_io_end.max(finish);
         Ok(Completion { start, finish })
     }

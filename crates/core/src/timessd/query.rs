@@ -64,7 +64,7 @@ const MAX_CHAIN: usize = 65_536;
 
 impl TimeSsd {
     /// Reads a delta page, transparently resolving unflushed buffers.
-    fn delta_page_at(&self, ppa: Ppa) -> Option<DeltaPage> {
+    pub(crate) fn delta_page_at(&self, ppa: Ppa) -> Option<DeltaPage> {
         if let Some(page) = self.deltas.buffered_page(ppa) {
             return Some(page.clone());
         }
@@ -74,7 +74,7 @@ impl TimeSsd {
         }
     }
 
-    fn delta_page_live(&self, ppa: Ppa) -> bool {
+    pub(crate) fn delta_page_live(&self, ppa: Ppa) -> bool {
         if self.deltas.buffered_page(ppa).is_some() {
             return true;
         }
@@ -168,14 +168,30 @@ impl TimeSsd {
                 let best = dp
                     .deltas
                     .iter()
-                    .filter(|d| d.lpa == lpa && d.timestamp < min_ts)
+                    .filter(|d| d.lpa == lpa && d.timestamp < min_ts && !d.is_trim())
                     .max_by_key(|d| d.timestamp);
                 let Some(rec) = best else {
-                    // Stale pointer: the page no longer holds a record for
-                    // this LPA (delta GC re-homed it, or — after a rebuild —
-                    // the back-pointer predates a lost delta buffer). Treat
-                    // it like any broken link and fall back to the IMT head.
-                    cursor = None;
+                    // No unseen version here, but the hop may still carry
+                    // the chain onward: the newest record for this LPA at or
+                    // before `min_ts` — a duplicate of a version already
+                    // emitted from a data page (GC compressed a stale copy
+                    // left by an aborted pass), or a trim journal record
+                    // (whose back-pointer names the pre-trim head) — links
+                    // to the older records. Bailing instead would orphan
+                    // every flushed delta behind it.
+                    let carrier = dp
+                        .deltas
+                        .iter()
+                        .filter(|d| d.lpa == lpa && d.timestamp <= min_ts)
+                        .max_by_key(|d| d.timestamp);
+                    cursor = carrier.and_then(|c| c.back_ptr);
+                    if carrier.is_some() && cursor.is_none() {
+                        tried_imt = true; // the chain genuinely ends here
+                    }
+                    // A page with no record for this LPA at all is a stale
+                    // pointer (delta GC re-homed it, or — after a rebuild —
+                    // it predates a lost delta buffer): cursor stays None
+                    // and the walk falls back to the IMT head.
                     continue;
                 };
                 let buffered = self.deltas.buffered_page(ppa).is_some();
@@ -289,6 +305,10 @@ impl TimeSsd {
                         version: *version,
                     }),
                     DeltaBody::Zeros => Ok(PageData::Zeros),
+                    // Unreachable: `find` skips journal records.
+                    DeltaBody::Trim => {
+                        Err(AlmanacError::DecodeFailed("trim journal record is not a version"))
+                    }
                     DeltaBody::Bytes(encoded) => {
                         let page_size = self.config.geometry.page_size as usize;
                         let ref_bytes = if rec.ref_timestamp == REF_ZEROS {
@@ -324,10 +344,10 @@ impl TimeSsd {
     /// Trim-aware: if the page is currently trimmed and the trim happened at
     /// or before `at`, the page did not exist at that instant and `None` is
     /// returned — otherwise a rollback to a post-trim time would resurrect
-    /// deleted data. The tombstone is RAM-only and forgotten when the page
-    /// is rewritten (the trim is then an interior gap the chain does not
-    /// record); the explicitly-historical [`Self::versions_in`] still
-    /// surfaces pre-trim write events.
+    /// deleted data. The tombstone is forgotten when the page is rewritten
+    /// (the trim is then an interior gap the chain does not record); the
+    /// explicitly-historical [`Self::versions_in`] still surfaces pre-trim
+    /// write events.
     pub fn version_as_of(&self, lpa: Lpa, at: Nanos) -> Option<VersionInfo> {
         if let Some(t_trim) = self.amt.get(lpa).trimmed_at() {
             if t_trim <= at {
@@ -354,8 +374,10 @@ impl TimeSsd {
 
     /// When `lpa` was trimmed, if it currently carries a trim tombstone.
     ///
-    /// The tombstone is RAM-only: rewriting the page forgets it, and a power
-    /// cut loses it (rebuild resurrects the newest on-flash version).
+    /// Rewriting the page forgets the tombstone. A power cut does *not*:
+    /// every trim journals a durable TRIM record into the delta stream
+    /// before completing, and rebuild replays the newest surviving record
+    /// back into `AmtEntry::Trimmed`.
     pub fn trimmed_at(&self, lpa: Lpa) -> Option<Nanos> {
         self.amt.get(lpa).trimmed_at()
     }

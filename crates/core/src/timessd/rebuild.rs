@@ -61,6 +61,9 @@ impl TimeSsd {
         let mut newest: HashMap<Lpa, (Nanos, Ppa)> = HashMap::new();
         let mut compressed: HashMap<Lpa, Vec<Nanos>> = HashMap::new();
         let mut recovered_deltas: HashMap<Lpa, Vec<(Nanos, Ppa)>> = HashMap::new();
+        // Newest journalled trim tombstone per LPA: (trim instant, chain
+        // head at trim time).
+        let mut trims: HashMap<Lpa, (Nanos, Option<Ppa>)> = HashMap::new();
         let mut delta_blocks: Vec<(u64, u32)> = Vec::new(); // (block, written)
         let mut written_per_block = vec![0u32; geo.total_blocks() as usize];
 
@@ -76,6 +79,17 @@ impl TimeSsd {
                     PageData::DeltaPage(dp) => {
                         for rec in &dp.deltas {
                             last_ts = last_ts.max(rec.timestamp);
+                            if rec.is_trim() {
+                                // A journal entry, not a version: never
+                                // enters the IMT or the repair index.
+                                match trims.get(&rec.lpa) {
+                                    Some((ts, _)) if *ts >= rec.timestamp => {}
+                                    _ => {
+                                        trims.insert(rec.lpa, (rec.timestamp, rec.back_ptr));
+                                    }
+                                }
+                                continue;
+                            }
                             compressed.entry(rec.lpa).or_default().push(rec.timestamp);
                             recovered_deltas
                                 .entry(rec.lpa)
@@ -106,6 +120,50 @@ impl TimeSsd {
             {
                 delta_blocks.push((block, written_per_block[block as usize]));
             }
+        }
+
+        // Replay journalled trim tombstones (§3.7 crash contract): a trim at
+        // least as new as the LPA's newest surviving write means the page
+        // was dead at power-off — rebuild it as `Trimmed`, pointing at the
+        // chain head the journal recorded. That head may by now be
+        // delta-only (its data page compressed and erased); the `Trimmed`
+        // cursor then falls through to the IMT with no upper bound, which
+        // is what keeps flushed newer-than-head deltas reachable (delta-head
+        // promotion) instead of an older surviving data page capping the
+        // chain walk. A trim older than a surviving write was superseded by
+        // that rewrite and is ignored.
+        for (lpa, (trim_ts, head)) in &trims {
+            if newest.get(lpa).is_some_and(|(ts, _)| *ts > *trim_ts) {
+                continue;
+            }
+            let ptr = head.or_else(|| newest.get(lpa).map(|&(_, p)| p));
+            if let Some(ptr) = ptr {
+                amt.set(*lpa, AmtEntry::Trimmed(ptr, *trim_ts));
+            }
+            // The trimmed head is retained history, not the live page.
+            newest.remove(lpa);
+        }
+
+        // Delta-head promotion: if the newest surviving version of an LPA
+        // lives in a flushed delta page *newer* than its best data page (or
+        // it has no data page at all), the head was compressed and its data
+        // page erased — legal only for a trimmed page, so the journal
+        // record must have expired together with its filter. Rebuild the
+        // entry as `Trimmed` pointing straight at the delta page, so the
+        // chain walk reaches the flushed versions instead of an older data
+        // page capping the walk at `newest > head`. The trim instant is
+        // approximated by the newest delta's timestamp (the true trim was
+        // at or after it) — a conservative bound for as-of queries.
+        for (lpa, (dpage, imt_ts)) in imt.iter() {
+            if matches!(amt.get(lpa), AmtEntry::Trimmed(..)) {
+                continue; // journalled tombstone already promoted it
+            }
+            if newest.get(&lpa).is_some_and(|&(ts, _)| ts >= imt_ts) {
+                continue; // data-page head is the newest (or the legal
+                          // equal-timestamp freeze) — no promotion needed
+            }
+            amt.set(lpa, AmtEntry::Trimmed(dpage, imt_ts));
+            newest.remove(&lpa);
         }
 
         // Pass 2: head pages become valid; everything else written is invalid

@@ -96,8 +96,9 @@ fn version_as_of_respects_trim_tombstone() {
     assert!(ssd.version_as_of(Lpa(6), 30 * SEC_NS).is_none());
     // The explicitly-historical query still surfaces the write event.
     assert_eq!(ssd.versions_in(Lpa(6), 0, u64::MAX).len(), 1);
-    // A rewrite forgets the tombstone: the trim becomes an interior gap the
-    // chain does not record (documented RAM-only semantics).
+    // A rewrite supersedes the tombstone: the trim becomes an interior gap
+    // the chain does not record (only the newest surviving trim per LPA is
+    // replayed at rebuild, and a strictly newer write wins).
     ssd.write(Lpa(6), synthetic(6, 2), 40 * SEC_NS).unwrap();
     assert_eq!(
         ssd.version_as_of(Lpa(6), 25 * SEC_NS).map(|v| v.timestamp),
@@ -108,9 +109,10 @@ fn version_as_of_respects_trim_tombstone() {
 /// Regression for the §3.7 equal-timestamp boundary between the data-page
 /// and delta-page chains: GC compresses a trimmed LPA's head before its
 /// data page is erased, so the same write timestamp legitimately exists in
-/// both chains; a power cut freezes that state and the rebuild remaps the
-/// data copy as head. The IMT jump must still be taken (`<=`, not `<`) and
-/// the strict in-page filter must not duplicate the shared timestamp.
+/// both chains; a power cut freezes that state. The rebuild replays the
+/// journalled tombstone — the page stays trimmed — and the chain walk from
+/// the `Trimmed` cursor must surface each version exactly once: neither
+/// losing the shared-timestamp head nor duplicating it.
 #[test]
 fn rebuilt_trimmed_compressed_chain_keeps_equal_ts_boundary() {
     use crate::timessd::gc::{Budget, Cause};
@@ -124,25 +126,28 @@ fn rebuilt_trimmed_compressed_chain_keeps_equal_ts_boundary() {
         now = c.finish + SEC_NS;
     }
     let head_ts = *stamps.last().unwrap();
-    ssd.trim(lpa, now).unwrap();
+    let trim = ssd.trim(lpa, now).unwrap();
     // Compress the whole trimmed chain (the §3.7 GC path) and flush.
     let mut budget = Budget::unbounded();
-    ssd.compress_versions_of(lpa, now, &mut budget, Cause::Gc)
+    ssd.compress_versions_of(lpa, trim.finish, &mut budget, Cause::Gc)
         .unwrap();
-    ssd.flush_buffers(now).unwrap();
+    ssd.flush_buffers(trim.finish).unwrap();
     // The newest compressed version IS the former head: its timestamp now
     // exists both as an on-flash data page and as a delta record.
     assert_eq!(ssd.imt.head(lpa).map(|(_, ts)| ts), Some(head_ts));
     assert_eq!(ssd.version_chain(lpa).len(), 4);
-    // Power-cycle. The rebuild maps the newest data page (the pre-trim
-    // head) as valid head again — the frozen equal-timestamp state.
+    // Power-cycle. The journalled tombstone survives: the page stays
+    // trimmed (no resurrection of deleted data), and the walk from the
+    // Trimmed cursor still sees every retained version exactly once.
     let rebuilt = TimeSsd::recover_from_flash(ssd.flash().clone(), ssd.config().clone());
+    assert!(!rebuilt.is_mapped(lpa), "trim must survive the power cut");
+    assert!(rebuilt.trimmed_at(lpa).is_some());
     let chain = rebuilt.version_chain(lpa);
     let got: Vec<_> = chain.iter().map(|v| v.timestamp).collect();
     let mut expect = stamps.clone();
     expect.reverse();
     assert_eq!(got, expect, "equal-ts boundary lost or duplicated versions");
-    assert!(chain[0].is_head);
+    assert!(!chain[0].is_head, "trimmed pages have no live head");
     assert!(chain.windows(2).all(|w| w[0].timestamp > w[1].timestamp));
     for (i, ts) in got.iter().enumerate() {
         assert_eq!(
@@ -150,6 +155,36 @@ fn rebuilt_trimmed_compressed_chain_keeps_equal_ts_boundary() {
             synthetic(lpa.0, (4 - i) as u64)
         );
     }
+}
+
+/// The headline crash guarantee of the trim journal: a bare trim (no
+/// flush, no GC, nothing else) followed immediately by a power cut stays
+/// trimmed, because `trim` programs its TRIM record synchronously before
+/// acknowledging.
+#[test]
+fn trim_survives_immediate_power_cut() {
+    let mut ssd = TimeSsd::new(medium_cfg());
+    let lpa = Lpa(3);
+    let mut now = SEC_NS;
+    for v in 1..=3u64 {
+        let c = ssd.write(lpa, synthetic(lpa.0, v), now).unwrap();
+        now = c.finish + SEC_NS;
+    }
+    let trim = ssd.trim(lpa, now).unwrap();
+    let rebuilt = TimeSsd::recover_from_flash(ssd.flash().clone(), ssd.config().clone());
+    assert!(!rebuilt.is_mapped(lpa), "acknowledged trim must be durable");
+    // Rebuilt tombstone carries the original trim instant.
+    assert!(rebuilt.trimmed_at(lpa).is_some());
+    assert_eq!(rebuilt.trimmed_at(lpa), ssd.trimmed_at(lpa));
+    // Pre-trim history remains reachable through the tombstone's cursor.
+    assert_eq!(rebuilt.version_chain(lpa).len(), 3);
+    assert!(rebuilt.check_consistency().is_clean());
+    // And a rewrite after recovery supersedes the tombstone again.
+    let mut rebuilt = rebuilt;
+    rebuilt
+        .write(lpa, synthetic(lpa.0, 9), trim.finish + SEC_NS)
+        .unwrap();
+    assert!(rebuilt.is_mapped(lpa));
 }
 
 #[test]
@@ -606,4 +641,57 @@ fn stall_leaves_tables_consistent() {
     let chain = ssd.version_chain(Lpa(0));
     assert!(!chain.is_empty());
     assert!(chain[0].is_head);
+}
+
+#[test]
+fn failed_migration_program_leaves_old_copy_mapped() {
+    use crate::tables::AmtEntry;
+    use almanac_flash::{FaultPlan, FlashError};
+
+    // Sweep program-fault indices until one lands on `migrate_valid`'s copy
+    // program (not the destination allocation, which is RAM-only and cannot
+    // fault). The contract: a failed program leaves the old copy mapped and
+    // valid, the tables audit-clean, and a retry succeeding.
+    let mut hit = false;
+    for nth in 0..64u64 {
+        let cfg = small_cfg().with_fault_plan(FaultPlan::new(0).with_program_fault(nth));
+        let mut ssd = TimeSsd::new(cfg);
+        let mut setup_ok = true;
+        for v in 1..=3u64 {
+            if ssd.write(Lpa(2), synthetic(2, v), v * SEC_NS).is_err() {
+                setup_ok = false; // the fault fired during setup traffic
+                break;
+            }
+        }
+        if !setup_ok {
+            continue;
+        }
+        let old = match ssd.amt.get(Lpa(2)) {
+            AmtEntry::Mapped(p) => p,
+            e => panic!("unexpected AMT state after setup: {e:?}"),
+        };
+        match ssd.migrate_valid(old, 10 * SEC_NS) {
+            Ok(_) => continue, // fault index beyond this run's programs
+            Err(AlmanacError::Flash(FlashError::Injected { .. })) => {}
+            Err(e) => panic!("unexpected migration error: {e}"),
+        }
+        hit = true;
+        assert_eq!(ssd.amt.get(Lpa(2)), AmtEntry::Mapped(old));
+        assert!(ssd.pvt.is_valid(old), "old copy invalidated by failed program");
+        let audit = ssd.check_consistency();
+        assert!(
+            audit.is_clean(),
+            "failed program corrupted tables: {:?}",
+            &audit.violations[..audit.violations.len().min(5)]
+        );
+        // Faults are one-shot, so the retry must succeed and move the head.
+        ssd.migrate_valid(old, 11 * SEC_NS).unwrap();
+        let moved = ssd.amt.get(Lpa(2)).chain_head().unwrap();
+        assert_ne!(moved, old);
+        assert!(!ssd.pvt.is_valid(old));
+        assert!(ssd.pvt.is_valid(moved));
+        assert_eq!(ssd.version_chain(Lpa(2)).len(), 3);
+        assert!(ssd.check_consistency().is_clean());
+    }
+    assert!(hit, "no fault index landed on the migration program");
 }

@@ -132,6 +132,11 @@ pub enum DeltaBody {
     Zeros,
     /// Real compressed bytes: `lzf(xor(reference, old_version))`.
     Bytes(Vec<u8>),
+    /// Not a version at all: a journalled TRIM tombstone. The record's
+    /// `timestamp` is the trim instant and `back_ptr` the chain head at
+    /// trim time; recovery replays it into `AmtEntry::Trimmed` so deletion
+    /// survives a power cut. Never served as page content.
+    Trim,
 }
 
 /// One retained old version packed inside a delta page.
@@ -153,6 +158,30 @@ pub struct DeltaRecord {
     pub body: DeltaBody,
     /// Compressed size in bytes (occupies this much of the delta page).
     pub size: u32,
+}
+
+impl DeltaRecord {
+    /// Size charged against a delta page for one trim tombstone.
+    pub const TRIM_SIZE: u32 = 8;
+
+    /// Builds a TRIM journal record: `head` is the version-chain head at
+    /// trim time, `timestamp` the trim instant.
+    pub fn trim(lpa: Lpa, head: Ppa, timestamp: Nanos) -> Self {
+        DeltaRecord {
+            lpa,
+            back_ptr: Some(head),
+            timestamp,
+            ref_timestamp: timestamp,
+            body: DeltaBody::Trim,
+            size: Self::TRIM_SIZE,
+        }
+    }
+
+    /// True when this record is a journalled trim tombstone rather than a
+    /// compressed version.
+    pub fn is_trim(&self) -> bool {
+        matches!(self.body, DeltaBody::Trim)
+    }
 }
 
 /// A flash page packed with [`DeltaRecord`]s plus a header, per §3.7.
@@ -178,11 +207,12 @@ impl DeltaPage {
         2 + (n as u32) * (2 + 4 + 4 + 8 + 8)
     }
 
-    /// Finds the delta for `lpa` with the given timestamp.
+    /// Finds the delta for `lpa` with the given timestamp. Trim tombstones
+    /// are journal entries, not versions, and are never returned.
     pub fn find(&self, lpa: Lpa, timestamp: Nanos) -> Option<&DeltaRecord> {
         self.deltas
             .iter()
-            .find(|d| d.lpa == lpa && d.timestamp == timestamp)
+            .find(|d| d.lpa == lpa && d.timestamp == timestamp && !d.is_trim())
     }
 }
 

@@ -1,21 +1,77 @@
-//! Longer-horizon local fuzz sweep (not run in CI): all strategies at
-//! several times seed scale, mixed configs.
+//! Longer-horizon differential fuzz sweep: all strategies at several times
+//! seed scale, mixed configs (AMT cache on and off), plus single-op fault
+//! injection. Run locally or by the scheduled `long-fuzz` CI job.
+//!
+//! Environment:
+//!
+//! - `LONG_FUZZ_SEED` — decimal seed mixed into every case's RNG, so the
+//!   nightly job explores a different deterministic slice each day (CI
+//!   derives it from the date). Default 0 reproduces the classic sweep.
+//! - `LONG_FUZZ_CASES` — cases per suite (default 32).
+//! - `LONG_FUZZ_REPORT` — where to write the failure report consumed by the
+//!   CI artifact upload (default `long_fuzz_failure.txt`).
+//!
+//! On divergence the failing suite, case, seed, and full report are printed
+//! and written to the report file, then the process exits non-zero — the
+//! report names everything needed to replay the case locally.
+
 use almanac_core::SsdConfig;
 use almanac_flash::{Geometry, SEC_NS};
 use almanac_oracle::{strategy, DifferentialHarness};
 use proptest::{Strategy, TestRng};
 
+fn cached(mut cfg: SsdConfig) -> SsdConfig {
+    cfg.amt_cache_pages = Some(2);
+    cfg
+}
+
+fn pressure_cfg() -> SsdConfig {
+    SsdConfig::new(Geometry::small_test())
+        .with_min_retention(SEC_NS)
+        .with_bloom(almanac_bloom::ChainConfig {
+            bits_per_filter: 1 << 12,
+            hashes: 4,
+            capacity: 64,
+        })
+}
+
+fn fail(report_path: &str, seed: u64, name: &str, case: u32, report: &str) -> ! {
+    let body = format!(
+        "long_fuzz divergence\nseed: {seed}\nsuite: {name}\ncase: {case}\n\
+         replay: LONG_FUZZ_SEED={seed} cargo run --release -p almanac-oracle --example long_fuzz\n\n{report}"
+    );
+    println!("=== DIVERGENCE in {name} case {case} (seed {seed}) ===\n{report}");
+    if let Err(e) = std::fs::write(report_path, &body) {
+        eprintln!("could not write failure report {report_path}: {e}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
+    let seed: u64 = std::env::var("LONG_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let cases: u32 = std::env::var("LONG_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let report_path =
+        std::env::var("LONG_FUZZ_REPORT").unwrap_or_else(|_| "long_fuzz_failure.txt".into());
+    // The seed rotates the RNG stream by salting the case path, so every
+    // nightly run walks a fresh deterministic slice of the input space.
+    let salt = format!("long_fuzz/{seed}");
+
     let mut total = 0usize;
     let mut stalls = 0usize;
-    for case in 0..32u32 {
-        let mut rng = TestRng::for_case("long_fuzz", case);
+    for case in 0..cases {
+        let mut rng = TestRng::for_case(&salt, case);
         let suites: Vec<(&str, proptest::BoxedStrategy<Vec<strategy::OracleOp>>, SsdConfig)> = vec![
             ("skew", strategy::skewed_writes(24, 400), SsdConfig::new(Geometry::medium_test())),
-            ("trim", strategy::trim_heavy(16, 400), SsdConfig::new(Geometry::medium_test())),
+            ("trim", strategy::trim_heavy(16, 400), cached(SsdConfig::new(Geometry::medium_test()))),
             ("eqts", strategy::equal_ts_bursts(8, 400), SsdConfig::new(Geometry::medium_test())),
             ("gc", strategy::gc_pressure(40, 500), SsdConfig::new(Geometry::small_test()).with_min_retention(SEC_NS)),
-            ("cut", strategy::power_cut_recovery(16, 400), SsdConfig::new(Geometry::medium_test())),
+            ("cut", strategy::power_cut_recovery(16, 400), cached(SsdConfig::new(Geometry::medium_test()))),
             ("roll", strategy::rollback_storm(12, 300), SsdConfig::new(Geometry::medium_test())),
         ];
         for (name, strat, cfg) in suites {
@@ -23,12 +79,25 @@ fn main() {
             let mut h = DifferentialHarness::new(cfg);
             let report = h.run(&ops);
             total += 1;
-            if h.is_stalled() { stalls += 1; }
+            if h.is_stalled() {
+                stalls += 1;
+            }
             if !report.is_clean() {
-                println!("=== DIVERGENCE in {name} case {case} ===\n{report}");
-                std::process::exit(1);
+                fail(&report_path, seed, name, case, &report.to_string());
             }
         }
+        // Single-op injected faults under GC pressure (read, program, and
+        // erase failures landing inside internal traffic).
+        let (ops, plan) = strategy::injected_faults(40, 220).generate(&mut rng);
+        let mut h = DifferentialHarness::new(pressure_cfg().with_fault_plan(plan));
+        let report = h.run(&ops);
+        total += 1;
+        if h.is_stalled() {
+            stalls += 1;
+        }
+        if !report.is_clean() {
+            fail(&report_path, seed, "fault", case, &report.to_string());
+        }
     }
-    println!("clean: {total} runs ({stalls} stalled)");
+    println!("clean: {total} runs ({stalls} stalled), seed {seed}");
 }

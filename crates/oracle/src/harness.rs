@@ -247,11 +247,16 @@ impl DifferentialHarness {
     }
 
     /// Runs `f` as a device op at the current virtual time, absorbing the
-    /// outcomes the oracle treats as measured rather than fatal.
+    /// outcomes the oracle treats as measured rather than fatal: a stall
+    /// (retention pinned GC) ends the run, and an injected single-op flash
+    /// fault is a *failed host op* — the device reported the error, applied
+    /// nothing, and must still satisfy every invariant afterwards (the
+    /// model is deliberately not updated).
     fn checked_op(&mut self, f: impl Fn(&mut Self, Nanos) -> Result<()>) {
         match f(self, self.now) {
             Ok(()) => {}
             Err(AlmanacError::DeviceStalled { .. }) => self.stalled = true,
+            Err(AlmanacError::Flash(FlashError::Injected { .. })) => {}
             Err(e) => panic!("unexpected device error in differential run: {e}"),
         }
     }
@@ -454,17 +459,32 @@ impl DifferentialHarness {
         flash.revive();
 
         // Mirror rebuild pass 1: the newest durable data page per LPA is
-        // what the device will map as the head.
+        // what the device will map as the head, and the newest durable TRIM
+        // journal record per LPA is the tombstone it will replay.
         let geo = self.config.geometry;
         let exported = self.config.exported_pages();
         let mut heads: BTreeMap<Lpa, (Nanos, PageData)> = BTreeMap::new();
+        let mut trims: BTreeMap<Lpa, Nanos> = BTreeMap::new();
         for block in 0..geo.total_blocks() {
             for off in 0..geo.pages_per_block {
                 let ppa = geo.ppa(block, off);
                 let Ok((data, oob)) = flash.peek(ppa) else {
                     break; // sequential programming: first free page ends it
                 };
-                if matches!(data, PageData::DeltaPage(_)) || oob.lpa.0 >= exported {
+                if let PageData::DeltaPage(dp) = &data {
+                    for d in &dp.deltas {
+                        if d.is_trim() {
+                            match trims.get(&d.lpa) {
+                                Some(&ts) if ts >= d.timestamp => {}
+                                _ => {
+                                    trims.insert(d.lpa, d.timestamp);
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+                if oob.lpa.0 >= exported {
                     continue;
                 }
                 match heads.get(&oob.lpa) {
@@ -475,6 +495,9 @@ impl DifferentialHarness {
                 }
             }
         }
+        // A trim record beaten by a strictly newer durable write was
+        // superseded; the device will not replay it.
+        trims.retain(|lpa, ts| heads.get(lpa).is_none_or(|(hts, _)| *hts <= *ts));
 
         // A head the model has never seen is a phantom — unless a TimeKits
         // rollback was cut mid-flight, whose writes we mirror from flash.
@@ -489,7 +512,7 @@ impl DifferentialHarness {
         }
 
         let head_ts: BTreeMap<Lpa, Nanos> = heads.iter().map(|(&l, &(ts, _))| (l, ts)).collect();
-        self.model.on_power_cut(&head_ts, &buffered);
+        self.model.on_power_cut(&head_ts, &buffered, &trims);
         self.ssd = TimeSsd::recover_from_flash(flash, self.config.clone());
         self.stalled = false;
     }
@@ -662,7 +685,9 @@ impl SsdDevice for DifferentialHarness {
             }
             Err(AlmanacError::Flash(FlashError::PowerLoss)) => {
                 self.power_cycle();
-                // Post-recovery the tombstone would be lost anyway; reissue.
+                // The cut fired before the trim was acknowledged, so its
+                // journal record never became durable (the record programs
+                // strictly before the ack); the host reissues the trim.
                 let c = self.ssd.trim(lpa, self.now.max(now))?;
                 if let Some(at) = self.ssd.trimmed_at(lpa) {
                     self.model.record_trim(lpa, at);

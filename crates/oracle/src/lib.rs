@@ -14,7 +14,11 @@
 //! is merely **allowed** to serve. A missing obligated version, a phantom
 //! version, wrong bytes, a broken chain order, or an internal-invariant
 //! violation is a [`Divergence`], reported with the shortest op prefix that
-//! reproduces it ([`minimal_failing_prefix`]).
+//! reproduces it ([`minimal_failing_prefix`]). The crash contract is tight:
+//! after a power cut the model still demands acknowledged trims (their
+//! tombstones are journalled before the ack) and every acknowledged write
+//! reachable from the rebuilt chains — only versions that lived purely in
+//! volatile delta buffers are waived.
 //!
 //! Three ways in:
 //!
@@ -23,7 +27,8 @@
 //!    it directly — every replayed read is checked byte-for-byte.
 //! 2. The [`strategy`] module generates adversarial [`OracleOp`] sequences
 //!    (hot/cold skew, equal-timestamp bursts, trims, GC pressure, power
-//!    cuts, rollback storms) for the deterministic proptest runner.
+//!    cuts, rollback storms, single-op injected faults) for the
+//!    deterministic proptest runner.
 //! 3. [`DifferentialHarness::apply`] accepts hand-written op sequences for
 //!    regression tests of specific divergences.
 

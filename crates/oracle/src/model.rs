@@ -43,9 +43,9 @@ pub struct ModelVersion {
     /// after a power cut (rebuild re-seeds the Bloom chain from write
     /// timestamps).
     pub basis: Option<Nanos>,
-    /// Obligation waived: the version lived only in volatile state (delta
-    /// buffer) at a power cut, or became unreachable from the rebuilt head.
-    /// A waived version may still be served; it just cannot be demanded.
+    /// Obligation waived: the version lived only in a volatile delta buffer
+    /// at a power cut. A waived version may still be served; it just cannot
+    /// be demanded.
     pub waived: bool,
 }
 
@@ -57,8 +57,9 @@ pub struct ModelDevice {
     min_retention: Nanos,
     /// Per-LPA history, ascending by timestamp.
     histories: BTreeMap<Lpa, Vec<ModelVersion>>,
-    /// Live trim tombstones (cleared by rewrite or power cut, like the
-    /// device's RAM-only `AmtEntry::Trimmed`).
+    /// Live trim tombstones, superseded by rewrite. They survive power cuts
+    /// as long as their journalled TRIM record does: `on_power_cut` keeps a
+    /// tombstone exactly when a matching record is durable on flash.
     tombstones: BTreeMap<Lpa, Nanos>,
 }
 
@@ -197,35 +198,40 @@ impl ModelDevice {
     ///
     /// `surviving_heads` is the newest durable data-page version per LPA (a
     /// flash scan mirroring rebuild pass 1); `buffered` lists versions that
-    /// lived only in volatile delta buffers at the cut.
+    /// lived only in volatile delta buffers at the cut; `surviving_trims`
+    /// is the newest durable TRIM journal record per LPA.
     ///
-    /// - Trim tombstones are RAM-only → forgotten; the surviving head is
-    ///   resurrected as the live version.
+    /// - A trim tombstone survives iff its journal record is durable: `trim`
+    ///   programs the record synchronously before acknowledging, so an
+    ///   acknowledged trim always keeps its tombstone. A record expired with
+    ///   its filter legally loses the tombstone, and the surviving head is
+    ///   resurrected as the live version instead.
     /// - Invalidation times are RAM-only → every retention basis downgrades
     ///   to the version's own write timestamp (matching the rebuilt Bloom
     ///   chain, which can only shorten apparent retention).
     /// - `buffered` versions are waived: volatile state is legally lost.
-    /// - Versions newer than the surviving head (possible when a trimmed
-    ///   head was compressed and its data page erased) become unreachable
-    ///   from the rebuilt mapping and are waived; see ROADMAP.
+    ///   (Acknowledged *writes* are never waived — the data page programs
+    ///   before the ack, so every acknowledged write survives the cut and
+    ///   the rebuild reaches it, promoting delta-only heads if needed.)
     pub fn on_power_cut(
         &mut self,
         surviving_heads: &BTreeMap<Lpa, Nanos>,
         buffered: &[(Lpa, Nanos)],
+        surviving_trims: &BTreeMap<Lpa, Nanos>,
     ) {
+        // A tombstone persists exactly when its TRIM record does.
+        self.tombstones
+            .retain(|lpa, ts| surviving_trims.get(lpa) == Some(ts));
         for (lpa, hist) in self.histories.iter_mut() {
-            let head_ts = surviving_heads.get(lpa).copied();
             for v in hist.iter_mut() {
                 if v.invalidated.is_some() {
                     v.basis = Some(v.timestamp);
                 }
-                if let Some(h) = head_ts {
-                    if v.timestamp > h {
-                        v.waived = true;
-                    }
-                }
             }
-            if let Some(h) = head_ts {
+            if self.tombstones.contains_key(lpa) {
+                continue; // the page stays trimmed: no head to resurrect
+            }
+            if let Some(&h) = surviving_heads.get(lpa) {
                 if let Some(v) = hist.iter_mut().find(|v| v.timestamp == h) {
                     // Resurrected: the rebuild maps this page as the head.
                     v.invalidated = None;
@@ -245,7 +251,6 @@ impl ModelDevice {
                 }
             }
         }
-        self.tombstones.clear();
     }
 }
 
@@ -294,18 +299,47 @@ mod tests {
     }
 
     #[test]
-    fn power_cut_downgrades_bases_and_resurrects() {
+    fn power_cut_downgrades_bases_and_resurrects_expired_trim() {
         let mut m = ModelDevice::new(64, 4096, 100);
         m.record_write(Lpa(5), page(1), 10).unwrap();
         m.record_write(Lpa(5), page(2), 20).unwrap();
         m.record_trim(Lpa(5), 30);
         let mut heads = BTreeMap::new();
         heads.insert(Lpa(5), 20);
-        m.on_power_cut(&heads, &[]);
+        // No surviving TRIM record (it expired with its filter): the
+        // tombstone is legally lost and the head resurrects.
+        m.on_power_cut(&heads, &[], &BTreeMap::new());
         assert!(m.trimmed_at(Lpa(5)).is_none());
-        let head = m.current(Lpa(5)).expect("trim resurrected");
+        let head = m.current(Lpa(5)).expect("expired trim resurrected");
         assert_eq!(head.timestamp, 20);
         let old = &m.history(Lpa(5))[0];
         assert_eq!(old.basis, Some(10), "basis downgraded to own write ts");
+    }
+
+    #[test]
+    fn journalled_trim_survives_power_cut() {
+        let mut m = ModelDevice::new(64, 4096, 100);
+        m.record_write(Lpa(5), page(1), 10).unwrap();
+        m.record_write(Lpa(5), page(2), 20).unwrap();
+        m.record_trim(Lpa(5), 30);
+        let mut heads = BTreeMap::new();
+        heads.insert(Lpa(5), 20);
+        let mut trims = BTreeMap::new();
+        trims.insert(Lpa(5), 30u64);
+        m.on_power_cut(&heads, &[], &trims);
+        assert_eq!(m.trimmed_at(Lpa(5)), Some(30), "acknowledged trim holds");
+        assert!(m.current(Lpa(5)).is_none(), "no resurrection through a tombstone");
+        // A stale record from a *superseded* trim must not re-trim the page.
+        let mut m2 = ModelDevice::new(64, 4096, 100);
+        m2.record_write(Lpa(6), page(1), 10).unwrap();
+        m2.record_trim(Lpa(6), 15);
+        m2.record_write(Lpa(6), page(2), 20).unwrap();
+        let mut heads2 = BTreeMap::new();
+        heads2.insert(Lpa(6), 20);
+        let mut trims2 = BTreeMap::new();
+        trims2.insert(Lpa(6), 15u64);
+        m2.on_power_cut(&heads2, &[], &trims2);
+        assert!(m2.trimmed_at(Lpa(6)).is_none());
+        assert_eq!(m2.current(Lpa(6)).map(|v| v.timestamp), Some(20));
     }
 }

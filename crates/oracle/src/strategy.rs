@@ -11,7 +11,7 @@
 //! All strategies are deterministic under the in-tree proptest stub — a CI
 //! failure reproduces locally with the same seed.
 
-use almanac_flash::{Nanos, MS_NS, SEC_NS, US_NS};
+use almanac_flash::{FaultPlan, Nanos, MS_NS, SEC_NS, US_NS};
 use proptest::{collection, prop_oneof, BoxedStrategy, Just, Strategy};
 
 /// One step of a differential run (see `DifferentialHarness::apply`).
@@ -167,7 +167,8 @@ pub fn gc_pressure(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {
 
 /// Traffic with power cuts sprinkled in: each cut discards RAM state and
 /// recovers from flash; the oracle then enforces the documented crash
-/// contract (durable versions survive, bases downgrade, tombstones vanish).
+/// contract (acknowledged writes and trims survive — trims via their
+/// journalled TRIM record — and retention bases downgrade).
 pub fn power_cut_recovery(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {
     let op = prop_oneof![
         6 => (0u64..domain, small_gap())
@@ -180,6 +181,34 @@ pub fn power_cut_recovery(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp
         1 => Just(OracleOp::Check),
     ];
     collection::vec(op, ops).boxed()
+}
+
+/// GC-pressure traffic paired with a single-op fault schedule: one read,
+/// one program, and one erase fail somewhere mid-stream — often inside
+/// `migrate_valid`, a delta flush, or a victim erase rather than at the
+/// host interface. The device must surface each as a failed op and keep
+/// every invariant (a failed GC program must leave the old copy mapped).
+///
+/// The fault indices are scaled to the op count so most runs land at least
+/// one fault inside the device's internal traffic (GC reads/programs
+/// multiply host ops on a pressured device).
+pub fn injected_faults(domain: u64, ops: usize) -> BoxedStrategy<(Vec<OracleOp>, FaultPlan)> {
+    let span = (ops as u64).max(1);
+    (
+        gc_pressure(domain, ops),
+        0u64..span * 3,
+        0u64..span * 3,
+        0u64..span / 4 + 1,
+        0u64..u64::MAX,
+    )
+        .prop_map(|(ops, prog, read, erase, seed)| {
+            let plan = FaultPlan::new(seed)
+                .with_program_fault(prog)
+                .with_read_fault(read)
+                .with_erase_fault(erase);
+            (ops, plan)
+        })
+        .boxed()
 }
 
 /// Rollback storms: writes interleaved with span rollbacks to random past

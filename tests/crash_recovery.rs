@@ -5,15 +5,18 @@
 //! delta-page programs, and Bloom-filter rotations. The sweep then replays
 //! the same script against fresh devices whose `FaultPlan` cuts power at an
 //! exact flash-op index inside those windows — so cuts land mid-GC
-//! migration, mid-delta-coalesce, and mid-filter-rotation, plus evenly
-//! spaced generic points — and for every cut asserts:
+//! migration, mid-delta-coalesce, mid-filter-rotation, and (in a dedicated
+//! sweep) on both sides of the trim-journal program, plus evenly spaced
+//! generic points — and for every cut asserts:
 //!
 //! - the dead device hands back only its flash (`into_flash`), which is
 //!   revived and rebuilt through `TimeSsd::recover_from_flash`;
 //! - every version that was on flash at the instant of the cut (everything
 //!   the dead device's own index could reach, minus volatile delta buffers)
 //!   is still reachable on the rebuilt device, with byte-identical content,
-//!   via the version chain, `AddrQuery`, and `TimeQuery`;
+//!   via the version chain, `AddrQuery`, and `TimeQuery` (a durable trim
+//!   tombstone newer than the version legitimately hides it from
+//!   `AddrQuery`'s current-state view — the history stays behind it);
 //! - the rebuilt device passes the `check_consistency` audit and keeps
 //!   serving writes;
 //! - the same fault seed reproduces byte-identical flash state
@@ -254,8 +257,13 @@ fn check_cut(cut: u64, ops: &[HostOp]) -> (u64, usize) {
                 stamps.get(&lpa.0).is_some_and(|s| s.contains(ts)),
                 "cut {cut}: TimeQuery missed surviving {lpa}@{ts}"
             );
+            // A durable trim tombstone newer than the version is the one
+            // legitimate reason for AddrQuery to report no current state:
+            // the page was deleted, its history retained behind the
+            // tombstone (§3.7 crash contract).
+            let tombstoned = kits.ssd().trimmed_at(*lpa).is_some_and(|t| t > *ts);
             assert!(
-                heads.get(&lpa.0).is_some_and(|head| head >= ts),
+                tombstoned || heads.get(&lpa.0).is_some_and(|head| head >= ts),
                 "cut {cut}: AddrQuery head older than surviving {lpa}@{ts}"
             );
         }
@@ -318,6 +326,123 @@ fn same_fault_seed_reproduces_byte_identical_state() {
     let (digest_b, survivors_b) = check_cut(cut, &ops);
     assert_eq!(digest_a, digest_b, "flash state diverged between runs");
     assert_eq!(survivors_a, survivors_b);
+}
+
+/// Cut points bracketing the §3.7 trim-journal write path. A trim of a
+/// mapped LPA journals a durable TRIM record (and flushes it) *before* any
+/// RAM state changes, so the crash contract is exact:
+///
+/// - cut before any of the trim's flash ops, or killing the journal program
+///   itself → the trim was never acknowledged, and the rebuilt device must
+///   resurrect the pre-trim state (the last acknowledged write);
+/// - cut after the trim's last flash op → the trim was acknowledged, and
+///   the rebuilt device must keep the tombstone: unmapped, `trimmed_at`
+///   set, reads as zeros.
+///
+/// Either way the expected state is exactly the cut run's own model of the
+/// last acknowledged op on that LPA.
+#[test]
+fn trim_journal_cut_points_enforce_acknowledged_trim_state() {
+    let cfg = base_config();
+    let ops = script(&cfg);
+    let (_, _, windows) = run(cfg, &ops);
+
+    let mut acked_tombstones = 0;
+    let mut unacked_trims = 0;
+    let mut picked = 0;
+    for (i, w) in windows.iter().enumerate() {
+        let HostOp::Trim(lpa) = ops[i] else { continue };
+        // Only journaled trims: the window's delta program is the journal
+        // flush (a trim of an unmapped LPA touches no flash).
+        if !w.delta || w.after <= w.before {
+            continue;
+        }
+        if picked == 4 {
+            break;
+        }
+        picked += 1;
+
+        // Three cuts: before the trim's first flash op, on its last flash
+        // op (the journal program dies), and right after the ack.
+        for cut in [w.before, w.after - 1, w.after] {
+            if cut == 0 {
+                continue;
+            }
+            let (end, model, cut_windows) = run(cut_config(cut), &ops);
+            let RunEnd::Cut(dead) = end else {
+                panic!("cut at flash op {cut} never fired");
+            };
+            // The op that hit the cut was never acknowledged; if it is a
+            // *later* op touching the same LPA, it may or may not have
+            // reached flash and the expected state is ambiguous — skip.
+            let dying = cut_windows.len();
+            let unrelated_collision = dying != i
+                && matches!(
+                    ops.get(dying),
+                    Some(HostOp::Write(l, _) | HostOp::Trim(l)) if *l == lpa
+                );
+            if unrelated_collision {
+                continue;
+            }
+
+            let mut flash = dead.into_flash();
+            flash.revive();
+            let mut rebuilt = TimeSsd::recover_from_flash(flash, base_config());
+            let audit = rebuilt.check_consistency();
+            assert!(
+                audit.is_clean(),
+                "trim cut {cut}: rebuilt device failed audit: {:?}",
+                audit.violations
+            );
+
+            match model.latest.get(&lpa.0) {
+                Some(Some(version)) => {
+                    // Last acknowledged op was a write: the trim must not
+                    // have applied.
+                    unacked_trims += 1;
+                    assert!(
+                        rebuilt.is_mapped(lpa),
+                        "trim cut {cut}: unacknowledged trim of {lpa} stuck"
+                    );
+                    let (data, _) = rebuilt.read(lpa, u64::MAX / 4).unwrap();
+                    assert_eq!(
+                        data,
+                        content(lpa, *version),
+                        "trim cut {cut}: {lpa} lost its pre-trim content"
+                    );
+                }
+                Some(None) => {
+                    // Last acknowledged op was a trim: the journaled
+                    // tombstone must have survived the cut.
+                    acked_tombstones += 1;
+                    assert!(
+                        !rebuilt.is_mapped(lpa),
+                        "trim cut {cut}: acknowledged trim of {lpa} resurrected"
+                    );
+                    assert!(
+                        rebuilt.trimmed_at(lpa).is_some(),
+                        "trim cut {cut}: {lpa} tombstone lost in rebuild"
+                    );
+                    let (data, _) = rebuilt.read(lpa, u64::MAX / 4).unwrap();
+                    assert_eq!(
+                        data,
+                        PageData::Zeros,
+                        "trim cut {cut}: trimmed {lpa} reads stale data"
+                    );
+                }
+                None => {
+                    // Never acknowledged anything for this LPA.
+                    assert!(!rebuilt.is_mapped(lpa));
+                }
+            }
+        }
+    }
+    assert!(picked >= 2, "script journaled too few trims to sweep");
+    assert!(
+        acked_tombstones > 0 && unacked_trims > 0,
+        "sweep must exercise both sides of the trim ack boundary \
+         (acked {acked_tombstones}, unacked {unacked_trims})"
+    );
 }
 
 #[test]
