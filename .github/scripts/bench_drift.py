@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Bench-drift gate: compare a fresh BENCH_*.json against the committed
+baseline.
+
+Usage: bench_drift.py BASELINE.json FRESH.json
+
+Compares total wall-clock time and per-figure wall times. The two reports
+must have been produced with the same `fast` flag and worker count to be
+comparable; otherwise the gate warns and exits 0 (nothing honest to
+compare). A total regression beyond 2x fails the job; anything smaller is
+reported as a warning only, since CI runners vary.
+
+Stdlib only — the repository builds offline.
+"""
+
+import json
+import sys
+
+FAIL_RATIO = 2.0
+WARN_RATIO = 1.25
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    baseline, fresh = load(sys.argv[1]), load(sys.argv[2])
+
+    for key in ("fast", "jobs"):
+        if baseline.get(key) != fresh.get(key):
+            print(
+                f"bench-drift: baseline {key}={baseline.get(key)!r} vs "
+                f"fresh {key}={fresh.get(key)!r}; runs are not comparable, skipping gate"
+            )
+            return 0
+
+    base_total = float(baseline["total_wall_ms"])
+    fresh_total = float(fresh["total_wall_ms"])
+    if base_total <= 0:
+        print("bench-drift: baseline total is zero, skipping gate")
+        return 0
+    ratio = fresh_total / base_total
+    print(
+        f"bench-drift: total {fresh_total:.0f} ms vs baseline "
+        f"{base_total:.0f} ms ({ratio:.2f}x)"
+    )
+
+    base_figs = {f["name"]: float(f["wall_ms"]) for f in baseline.get("figures", [])}
+    for fig in fresh.get("figures", []):
+        name, wall = fig["name"], float(fig["wall_ms"])
+        base = base_figs.get(name)
+        if base and base > 0:
+            r = wall / base
+            marker = " <-- regression" if r > FAIL_RATIO else ""
+            print(f"  {name}: {wall:.0f} ms vs {base:.0f} ms ({r:.2f}x){marker}")
+        else:
+            print(f"  {name}: {wall:.0f} ms (no baseline figure)")
+
+    if ratio > FAIL_RATIO:
+        print(f"bench-drift: FAIL — total wall time regressed beyond {FAIL_RATIO}x")
+        return 1
+    if ratio > WARN_RATIO:
+        print(f"bench-drift: warning — total wall time above {WARN_RATIO}x baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

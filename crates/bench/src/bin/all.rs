@@ -5,7 +5,7 @@
 
 use almanac_bench::engine::timed;
 use almanac_bench::report::{BenchReport, FigureRecord};
-use almanac_bench::{fast_mode, fig10, fig11, fig6_7, fig8, fig9, table3};
+use almanac_bench::{fast_mode, fig10, fig11, fig6_7, fig8, fig9, table3, trimwa};
 use almanac_workloads::{fiu_profiles, msr_profiles};
 
 const SEED: u64 = 42;
@@ -81,6 +81,17 @@ fn main() {
         name: "fig11".into(),
         wall_ms: t.wall_ms,
         cells: Vec::new(),
+    });
+
+    let t = timed(|| {
+        let rows = trimwa::run(SEED);
+        trimwa::print(&rows);
+        trimwa::cells(&rows)
+    });
+    report.push_figure(FigureRecord {
+        name: "trim_wa".into(),
+        wall_ms: t.wall_ms,
+        cells: t.value,
     });
 
     let t = timed(|| {

@@ -13,9 +13,8 @@ fn main() {
         (vec![28, 42, 56, 63], vec![20, 30, 40])
     };
     for usage in [0.8, 0.5] {
-        let t = timed(|| {
-            fig8::run_and_print_timed("MSR", &msr_profiles(), usage, &msr_lengths, 42).1
-        });
+        let t =
+            timed(|| fig8::run_and_print_timed("MSR", &msr_profiles(), usage, &msr_lengths, 42).1);
         report.push_figure(FigureRecord {
             name: format!("fig8-msr@u{:.0}", usage * 100.0),
             wall_ms: t.wall_ms,
@@ -23,9 +22,8 @@ fn main() {
         });
     }
     for usage in [0.8, 0.5] {
-        let t = timed(|| {
-            fig8::run_and_print_timed("FIU", &fiu_profiles(), usage, &fiu_lengths, 42).1
-        });
+        let t =
+            timed(|| fig8::run_and_print_timed("FIU", &fiu_profiles(), usage, &fiu_lengths, 42).1);
         report.push_figure(FigureRecord {
             name: format!("fig8-fiu@u{:.0}", usage * 100.0),
             wall_ms: t.wall_ms,

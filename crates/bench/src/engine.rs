@@ -156,7 +156,9 @@ impl WarmCache {
     /// A FlashGuard SSD warm-filled to `usage`, plus the fill's virtual end
     /// time (used by the Figure 10 recovery comparison).
     pub fn flashguard(&self, usage: f64) -> Warmed<FlashGuardSsd> {
-        warmed(&self.flashguard, usage, || FlashGuardSsd::new(bench_config()))
+        warmed(&self.flashguard, usage, || {
+            FlashGuardSsd::new(bench_config())
+        })
     }
 }
 
@@ -172,13 +174,9 @@ mod tests {
 
     #[test]
     fn pool_preserves_submission_order() {
-        let tasks: Vec<_> = (0..32)
-            .map(|i| move || i * 2)
-            .collect();
+        let tasks: Vec<_> = (0..32).map(|i| move || i * 2).collect();
         let serial = run_pool_with(1, tasks);
-        let tasks: Vec<_> = (0..32)
-            .map(|i| move || i * 2)
-            .collect();
+        let tasks: Vec<_> = (0..32).map(|i| move || i * 2).collect();
         let parallel = run_pool_with(4, tasks);
         assert_eq!(serial, parallel);
         assert_eq!(serial, (0..32).map(|i| i * 2).collect::<Vec<_>>());

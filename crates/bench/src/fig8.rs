@@ -60,7 +60,10 @@ pub fn run_profile_lengths(
         .iter()
         .map(|&days| move || retention_cell(p, usage, days, seed))
         .collect();
-    engine::run_pool(tasks).into_iter().map(|t| t.value).collect()
+    engine::run_pool(tasks)
+        .into_iter()
+        .map(|t| t.value)
+        .collect()
 }
 
 /// Runs a whole suite (`profiles`) and prints the Figure 8 panel.
@@ -98,7 +101,10 @@ pub fn run_and_print_timed(
 
     let mut results: Vec<(String, Vec<Point>)> = Vec::new();
     let mut cells: Vec<CellRecord> = Vec::new();
-    for (profile, chunk) in profiles.iter().zip(timed_points.chunks_exact(lengths.len())) {
+    for (profile, chunk) in profiles
+        .iter()
+        .zip(timed_points.chunks_exact(lengths.len()))
+    {
         results.push((
             profile.name.to_string(),
             chunk.iter().map(|t| t.value.clone()).collect(),

@@ -32,6 +32,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod report;
 pub mod table3;
+pub mod trimwa;
 
 /// True when the fast (smoke-test) mode is requested.
 pub fn fast_mode() -> bool {

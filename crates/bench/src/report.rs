@@ -29,7 +29,12 @@ pub enum Json {
 impl Json {
     /// Convenience constructor for object members.
     pub fn obj(members: Vec<(&str, Json)>) -> Json {
-        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// A string value.
@@ -221,7 +226,10 @@ impl BenchReport {
                 Json::obj(vec![
                     ("name", Json::str(f.name.clone())),
                     ("wall_ms", Json::Num(round3(f.wall_ms))),
-                    ("cells", Json::Arr(f.cells.iter().map(CellRecord::to_json).collect())),
+                    (
+                        "cells",
+                        Json::Arr(f.cells.iter().map(CellRecord::to_json).collect()),
+                    ),
                 ])
             })
             .collect();

@@ -67,6 +67,12 @@ pub struct SsdConfig {
     /// device construction (power cuts, injected op failures, OOB bit-rot).
     /// `None` builds a fault-free device.
     pub fault_plan: Option<FaultPlan>,
+    /// Buffered TRIM tombstones that force a flush of the holding delta
+    /// buffer. `1` journals every acked trim synchronously (the pre-barrier
+    /// behaviour, maximum durability and write amplification); larger values
+    /// coalesce tombstones until the watermark, a capacity flush, or a host
+    /// flush barrier; `0` relies on barriers/capacity alone.
+    pub trim_journal_watermark: u32,
 }
 
 impl SsdConfig {
@@ -92,6 +98,7 @@ impl SsdConfig {
             retention_key: None,
             amt_cache_pages: None,
             fault_plan: None,
+            trim_journal_watermark: 8,
         }
     }
 
@@ -136,6 +143,13 @@ impl SsdConfig {
         self.fault_plan = Some(plan);
         self
     }
+
+    /// Sets the tombstone-coalescing watermark of the trim journal
+    /// (`1` = flush per acked trim, `0` = barrier/capacity flushes only).
+    pub fn with_trim_journal_watermark(mut self, watermark: u32) -> Self {
+        self.trim_journal_watermark = watermark;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -165,8 +179,10 @@ mod tests {
     fn builders_apply() {
         let cfg = SsdConfig::new(Geometry::small_test())
             .with_min_retention(5)
-            .with_synthetic_delta(0.1, 0.01);
+            .with_synthetic_delta(0.1, 0.01)
+            .with_trim_journal_watermark(1);
         assert_eq!(cfg.min_retention, 5);
         assert!((cfg.synthetic_delta_mean - 0.1).abs() < f64::EPSILON);
+        assert_eq!(cfg.trim_journal_watermark, 1);
     }
 }

@@ -40,6 +40,19 @@ pub trait SsdDevice {
     /// Invalidates `lpa` (TRIM/discard).
     fn trim(&mut self, lpa: Lpa, now: Nanos) -> Result<Completion>;
 
+    /// Durability barrier (NVMe Flush): on return, every write and trim
+    /// acknowledged before the call — including versions still sitting in
+    /// volatile buffers — is recoverable after a power cut.
+    ///
+    /// Devices without volatile state complete immediately; that default is
+    /// provided here.
+    fn flush(&mut self, now: Nanos) -> Result<Completion> {
+        Ok(Completion {
+            start: now,
+            finish: now,
+        })
+    }
+
     /// Cumulative statistics.
     fn stats(&self) -> &DeviceStats;
 

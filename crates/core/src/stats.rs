@@ -92,6 +92,8 @@ pub struct DeviceStats {
     pub user_writes: u64,
     /// Host trims served.
     pub user_trims: u64,
+    /// Host flush barriers served.
+    pub host_flushes: u64,
     /// Flash programs for host data.
     pub user_programs: u64,
     /// Flash reads issued by GC (victim scans, chain traversals).
@@ -156,6 +158,7 @@ impl DeviceStats {
             user_reads: self.user_reads - earlier.user_reads,
             user_writes: self.user_writes - earlier.user_writes,
             user_trims: self.user_trims - earlier.user_trims,
+            host_flushes: self.host_flushes - earlier.host_flushes,
             user_programs: self.user_programs - earlier.user_programs,
             gc_reads: self.gc_reads - earlier.gc_reads,
             gc_programs: self.gc_programs - earlier.gc_programs,

@@ -46,6 +46,10 @@ pub enum Violation {
     /// The IMT's newest compressed version for an LPA still sits in a live
     /// flushed delta page, but the version chain walk never reaches it.
     UnreachableFlushedDelta(Lpa, u64),
+    /// A delta buffer still holds records appended at or before the last
+    /// acknowledged flush barrier — the barrier acked durability it never
+    /// delivered.
+    PreBarrierVolatile(Ppa),
 }
 
 impl fmt::Display for Violation {
@@ -76,7 +80,16 @@ impl fmt::Display for Violation {
                 write!(f, "{l} trimmed at {ts}ns with no journalled TRIM record")
             }
             Violation::UnreachableFlushedDelta(l, ts) => {
-                write!(f, "{l}: flushed delta version at {ts}ns unreachable from chain walk")
+                write!(
+                    f,
+                    "{l}: flushed delta version at {ts}ns unreachable from chain walk"
+                )
+            }
+            Violation::PreBarrierVolatile(p) => {
+                write!(
+                    f,
+                    "buffer at {p} holds records from before the last flush barrier"
+                )
             }
         }
     }
@@ -280,6 +293,15 @@ impl TimeSsd {
                 }
             }
         }
+
+        // 5. Barrier audit: a host flush acks that everything appended
+        //    before it is on flash, so no live buffer may hold a record
+        //    sequenced at or before the last completed barrier. (Sequence
+        //    numbers, not timestamps — equal-ts bursts make wall-clock
+        //    comparison ambiguous.)
+        for ppa in self.deltas.pre_barrier_buffers() {
+            report.violations.push(Violation::PreBarrierVolatile(ppa));
+        }
         report
     }
 }
@@ -377,7 +399,9 @@ mod tests {
         assert!(report
             .violations
             .contains(&Violation::OobOwnerMismatch(Lpa(2), foreign, Lpa(7))));
-        assert!(report.violations.contains(&Violation::DoubleMapped(foreign)));
+        assert!(report
+            .violations
+            .contains(&Violation::DoubleMapped(foreign)));
     }
 
     #[test]
@@ -523,6 +547,52 @@ mod tests {
         assert!(report
             .violations
             .contains(&Violation::UnreachableFlushedDelta(lpa, ts)));
+    }
+
+    #[test]
+    fn detects_pre_barrier_volatile_buffer() {
+        use almanac_flash::{DeltaBody, DeltaRecord};
+        let mut ssd = built();
+        // Buffer a genuine delta record, then forge a barrier ack without
+        // flushing — the exact corruption a broken flush path would leave.
+        let lpa = Lpa(2);
+        let head = head_of(&ssd, lpa);
+        let (_, oob) = ssd.flash.peek(head).unwrap();
+        let ts = oob.timestamp + 5;
+        let fid = ssd.chain.insert(ssd.group_of(head), ts);
+        let rec = DeltaRecord {
+            lpa,
+            back_ptr: Some(head),
+            timestamp: ts,
+            ref_timestamp: ts,
+            body: DeltaBody::Zeros,
+            size: 8,
+        };
+        let out = ssd
+            .deltas
+            .append(fid, rec, &mut ssd.alloc, &mut ssd.bst, &mut ssd.flash, ts)
+            .unwrap();
+        ssd.deltas.mark_barrier_unchecked();
+        let report = ssd.check_consistency();
+        assert!(report
+            .violations
+            .contains(&Violation::PreBarrierVolatile(out.page)));
+    }
+
+    #[test]
+    fn real_flush_barrier_passes_the_audit() {
+        let mut ssd = built();
+        // Trims buffer tombstones below the watermark; the host barrier
+        // must flush them and leave the audit clean.
+        ssd.trim(Lpa(4), 10_000 * SEC_NS).unwrap();
+        ssd.flush(10_001 * SEC_NS).unwrap();
+        assert_eq!(ssd.stats().host_flushes, 1);
+        let report = ssd.check_consistency();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        // Post-barrier appends are legitimately volatile.
+        ssd.trim(Lpa(5), 10_002 * SEC_NS).unwrap();
+        let report = ssd.check_consistency();
+        assert!(report.is_clean(), "{:?}", report.violations);
     }
 
     #[test]

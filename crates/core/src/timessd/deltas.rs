@@ -31,6 +31,12 @@ struct Buffer {
     reserved: Ppa,
     page: DeltaPage,
     used: u32,
+    /// Sequence number of the oldest record in this buffer (monotonic append
+    /// counter, not a timestamp — equal-timestamp bursts make wall-clock
+    /// comparisons ambiguous).
+    first_seq: u64,
+    /// TRIM tombstones buffered since the last flush of this buffer.
+    pending_trims: u32,
 }
 
 /// Outcome of appending one delta record.
@@ -51,16 +57,31 @@ pub struct DeltaManager {
     buffers: HashMap<FilterId, Buffer>,
     active_blocks: HashMap<FilterId, OpenBlock>,
     blocks: HashMap<FilterId, Vec<BlockId>>,
+    /// Monotonic counter, bumped once per appended record.
+    seq: u64,
+    /// Value of `seq` when the last *complete* barrier ([`Self::flush_all`])
+    /// succeeded. Every record with a sequence number at or below this is
+    /// durable on flash; a live buffer whose `first_seq` is at or below it
+    /// would violate the barrier contract.
+    barrier_seq: u64,
+    /// Buffered tombstones per filter that trigger a flush of that buffer
+    /// (`0` = never flush on count, barrier/capacity only; `1` = the old
+    /// flush-per-trim behaviour).
+    trim_watermark: u32,
 }
 
 impl DeltaManager {
-    /// Creates an empty manager.
-    pub fn new(geometry: Geometry) -> Self {
+    /// Creates an empty manager. `trim_watermark` is the number of buffered
+    /// TRIM tombstones that forces a flush of the holding buffer.
+    pub fn new(geometry: Geometry, trim_watermark: u32) -> Self {
         DeltaManager {
             geometry,
             buffers: HashMap::new(),
             active_blocks: HashMap::new(),
             blocks: HashMap::new(),
+            seq: 0,
+            barrier_seq: 0,
+            trim_watermark,
         }
     }
 
@@ -136,6 +157,7 @@ impl DeltaManager {
             finish = t;
             programs += p;
         }
+        self.seq += 1;
         if !self.buffers.contains_key(&filter) {
             let reserved = self.reserve_page(filter, alloc, bst, finish)?;
             self.buffers.insert(
@@ -144,6 +166,8 @@ impl DeltaManager {
                     reserved,
                     page: DeltaPage::default(),
                     used: 0,
+                    first_seq: self.seq,
+                    pending_trims: 0,
                 },
             );
         }
@@ -189,9 +213,12 @@ impl DeltaManager {
     }
 
     /// Journals a trim tombstone: appends the TRIM record to `filter`'s
-    /// buffer and immediately flushes that buffer, so the tombstone is
-    /// durable on flash when the call returns. Any compressed deltas
-    /// sharing the buffer simply become durable a little early.
+    /// buffer and flushes that buffer once it has coalesced `trim_watermark`
+    /// tombstones (a watermark of 1 reproduces the old flush-per-trim
+    /// journal; 0 defers entirely to barriers and capacity flushes). Between
+    /// flushes an acked trim is volatile, exactly like a buffered write
+    /// delta — the host [`flush`](crate::device::SsdDevice::flush) barrier
+    /// is the durability point.
     pub fn journal_trim(
         &mut self,
         filter: FilterId,
@@ -202,15 +229,26 @@ impl DeltaManager {
         now: Nanos,
     ) -> Result<AppendOutcome> {
         let out = self.append(filter, record, alloc, bst, flash, now)?;
-        let (finish, programs) = self.flush_filter(filter, bst, flash, out.finish)?;
-        Ok(AppendOutcome {
-            page: out.page,
-            finish,
-            programs: out.programs + programs,
-        })
+        let buf = self
+            .buffers
+            .get_mut(&filter)
+            .ok_or(AlmanacError::Internal("delta buffer vanished"))?;
+        buf.pending_trims += 1;
+        if self.trim_watermark != 0 && buf.pending_trims >= self.trim_watermark {
+            let (finish, programs) = self.flush_filter(filter, bst, flash, out.finish)?;
+            return Ok(AppendOutcome {
+                page: out.page,
+                finish,
+                programs: out.programs + programs,
+            });
+        }
+        Ok(out)
     }
 
-    /// Flushes every buffer (shutdown / test hook).
+    /// Flushes every buffer (host barrier / shutdown). Only when *every*
+    /// buffer reaches flash does the barrier point advance: a mid-loop
+    /// program fault leaves `barrier_seq` untouched (and the failed buffer
+    /// intact), so the caller can refuse to ack and retry.
     pub fn flush_all(
         &mut self,
         bst: &mut Bst,
@@ -225,7 +263,27 @@ impl DeltaManager {
             t = ft;
             programs += p;
         }
+        self.barrier_seq = self.seq;
         Ok((t, programs))
+    }
+
+    /// Reserved pages of live buffers holding records from at or before the
+    /// last completed barrier. A correct device always returns an empty
+    /// list — the barrier flushed every buffer alive at that point — so the
+    /// consistency checker treats entries as violations.
+    pub fn pre_barrier_buffers(&self) -> Vec<Ppa> {
+        self.buffers
+            .values()
+            .filter(|b| b.first_seq <= self.barrier_seq)
+            .map(|b| b.reserved)
+            .collect()
+    }
+
+    /// Test hook: advances the barrier point *without* flushing, forging the
+    /// exact corruption the pre-barrier audit exists to catch.
+    #[cfg(test)]
+    pub(crate) fn mark_barrier_unchecked(&mut self) {
+        self.barrier_seq = self.seq;
     }
 
     /// Reads a reserved-but-unflushed delta page from the buffers.
@@ -283,7 +341,7 @@ mod tests {
     fn fixture() -> (DeltaManager, Allocator, Bst, FlashArray) {
         let geo = Geometry::small_test();
         (
-            DeltaManager::new(geo),
+            DeltaManager::new(geo, 8),
             Allocator::new(geo),
             Bst::new(geo.total_blocks()),
             FlashArray::new(geo, LatencyConfig::default()),
@@ -393,6 +451,130 @@ mod tests {
         let geo = Geometry::small_test();
         assert_ne!(geo.block_of(a.page), geo.block_of(b.page));
         assert_eq!(mgr.block_count(), 2);
+    }
+
+    #[test]
+    fn journal_trim_batches_until_watermark() {
+        let geo = Geometry::small_test();
+        let mut mgr = DeltaManager::new(geo, 3);
+        let mut alloc = Allocator::new(geo);
+        let mut bst = Bst::new(geo.total_blocks());
+        let mut flash = FlashArray::new(geo, LatencyConfig::default());
+        let mut programs = 0;
+        for i in 0..2 {
+            let out = mgr
+                .journal_trim(0, record(i, 10 + i, 8), &mut alloc, &mut bst, &mut flash, 0)
+                .unwrap();
+            programs += out.programs;
+            assert!(mgr.buffered_page(out.page).is_some(), "trim {i} buffered");
+        }
+        assert_eq!(programs, 0, "below the watermark nothing is programmed");
+        let out = mgr
+            .journal_trim(0, record(2, 30, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        assert_eq!(out.programs, 1, "watermark trim flushes the batch");
+        assert!(mgr.buffered_page(out.page).is_none());
+        assert!(flash.peek(out.page).is_ok());
+    }
+
+    #[test]
+    fn watermark_one_reproduces_flush_per_trim() {
+        let geo = Geometry::small_test();
+        let mut mgr = DeltaManager::new(geo, 1);
+        let mut alloc = Allocator::new(geo);
+        let mut bst = Bst::new(geo.total_blocks());
+        let mut flash = FlashArray::new(geo, LatencyConfig::default());
+        for i in 0..3 {
+            let out = mgr
+                .journal_trim(0, record(i, 10 + i, 8), &mut alloc, &mut bst, &mut flash, 0)
+                .unwrap();
+            assert_eq!(out.programs, 1, "trim {i} should flush immediately");
+            assert!(mgr.buffered_page(out.page).is_none());
+        }
+    }
+
+    #[test]
+    fn flush_all_advances_barrier_and_empties_buffers() {
+        let (mut mgr, mut alloc, mut bst, mut flash) = fixture();
+        mgr.append(0, record(1, 10, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        mgr.append(1, record(2, 11, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        let (_, programs) = mgr.flush_all(&mut bst, &mut flash, 100).unwrap();
+        assert_eq!(programs, 2);
+        assert_eq!(mgr.buffered_pages().count(), 0);
+        assert!(mgr.pre_barrier_buffers().is_empty());
+        // Records appended after the barrier are legitimately volatile.
+        mgr.append(2, record(3, 12, 8), &mut alloc, &mut bst, &mut flash, 200)
+            .unwrap();
+        assert!(mgr.pre_barrier_buffers().is_empty());
+    }
+
+    #[test]
+    fn unchecked_barrier_over_live_buffer_trips_audit() {
+        let (mut mgr, mut alloc, mut bst, mut flash) = fixture();
+        let out = mgr
+            .append(0, record(1, 10, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        mgr.mark_barrier_unchecked();
+        assert_eq!(mgr.pre_barrier_buffers(), vec![out.page]);
+    }
+
+    #[test]
+    fn program_fault_mid_flush_keeps_buffer_retryable() {
+        let geo = Geometry::small_test();
+        let mut mgr = DeltaManager::new(geo, 8);
+        let mut alloc = Allocator::new(geo);
+        let mut bst = Bst::new(geo.total_blocks());
+        let mut flash = FlashArray::new(geo, LatencyConfig::default())
+            .with_fault_plan(almanac_flash::FaultPlan::new(1).with_program_fault(0));
+        let out = mgr
+            .append(0, record(1, 10, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        assert!(
+            mgr.flush_filter(0, &mut bst, &mut flash, 50).is_err(),
+            "injected program fault must surface"
+        );
+        // The records are still in RAM, aimed at the same reserved page.
+        assert!(mgr.buffered_page(out.page).is_some());
+        let (_, programs) = mgr.flush_filter(0, &mut bst, &mut flash, 60).unwrap();
+        assert_eq!(programs, 1, "retry programs the same reserved page");
+        assert!(flash.peek(out.page).is_ok());
+    }
+
+    #[test]
+    fn failed_barrier_does_not_advance_barrier_point() {
+        let geo = Geometry::small_test();
+        let mut mgr = DeltaManager::new(geo, 8);
+        let mut alloc = Allocator::new(geo);
+        let mut bst = Bst::new(geo.total_blocks());
+        let mut flash = FlashArray::new(geo, LatencyConfig::default())
+            .with_fault_plan(almanac_flash::FaultPlan::new(1).with_program_fault(0));
+        mgr.append(0, record(1, 10, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        assert!(mgr.flush_all(&mut bst, &mut flash, 50).is_err());
+        // The failed barrier was never acked, so the surviving buffer is not
+        // a contract violation...
+        assert!(mgr.pre_barrier_buffers().is_empty());
+        // ...and the retry completes the barrier for real.
+        let (_, programs) = mgr.flush_all(&mut bst, &mut flash, 60).unwrap();
+        assert_eq!(programs, 1);
+        assert_eq!(mgr.buffered_pages().count(), 0);
+    }
+
+    #[test]
+    fn double_flush_is_idempotent() {
+        let (mut mgr, mut alloc, mut bst, mut flash) = fixture();
+        let out = mgr
+            .append(0, record(1, 10, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        let (t1, p1) = mgr.flush_filter(0, &mut bst, &mut flash, 50).unwrap();
+        assert_eq!(p1, 1);
+        let (t2, p2) = mgr.flush_filter(0, &mut bst, &mut flash, t1).unwrap();
+        assert_eq!((t2, p2), (t1, 0), "second flush is a no-op");
+        let (t3, p3) = mgr.flush_all(&mut bst, &mut flash, t2).unwrap();
+        assert_eq!((t3, p3), (t2, 0), "barrier over empty buffers is free");
+        assert!(flash.peek(out.page).is_ok());
     }
 
     #[test]

@@ -121,7 +121,7 @@ impl TimeSsd {
             imt: Imt::new(),
             alloc: Allocator::new(geo),
             chain: BloomChain::new(config.bloom),
-            deltas: DeltaManager::new(geo),
+            deltas: DeltaManager::new(geo, config.trim_journal_watermark),
             stats: DeviceStats::default(),
             busy_until: 0,
             period: PeriodCounters::default(),
@@ -181,12 +181,22 @@ impl TimeSsd {
         self.deltas.block_count()
     }
 
+    /// Number of delta pages still sitting in volatile RAM buffers. Zero
+    /// immediately after an acknowledged [`flush`](SsdDevice::flush).
+    pub fn buffered_delta_pages(&self) -> usize {
+        self.deltas.buffered_pages().count()
+    }
+
     /// Translation-page cache traffic: `(fault reads, dirty writebacks)`.
     pub fn map_cache_traffic(&self) -> (u64, u64) {
         (self.map_cache.fault_reads, self.map_cache.writeback_writes)
     }
 
-    /// Flushes all pending delta buffers to flash (shutdown hook).
+    /// Flushes all pending delta buffers to flash. This is the host
+    /// [`flush`](SsdDevice::flush) barrier's engine (also a shutdown hook):
+    /// on success every buffered delta and tombstone is durable and the
+    /// barrier point advances; on failure nothing is acked and a retry
+    /// re-targets the surviving buffers.
     pub fn flush_buffers(&mut self, now: Nanos) -> Result<Nanos> {
         let (t, programs) =
             self.deltas
@@ -243,7 +253,10 @@ impl TimeSsd {
         if let Some(b) = opened {
             self.bst.get_mut(b).kind = BlockKind::Data;
         }
-        let finish = match self.flash.program(ppa, data, Oob::new(lpa, back_ptr, ts), at) {
+        let finish = match self
+            .flash
+            .program(ppa, data, Oob::new(lpa, back_ptr, ts), at)
+        {
             Ok(t) => t,
             Err(e) => {
                 // The chip never wrote the page; return the offset so the
@@ -434,12 +447,15 @@ impl SsdDevice for TimeSsd {
             // overestimate those entries' ages and expire them early.
             let inv_ts = start.max(self.last_ts);
             // Journal the tombstone into the filter segment that records
-            // this invalidation, and flush it, *before* any RAM state
-            // changes: deletion must be durable once the trim completes
-            // (§3.7 crash contract), and record + versions then expire
-            // together with the filter. A failed journal program leaves
-            // the trim un-applied — only a spurious Bloom insert remains,
-            // a false positive the filters tolerate by design.
+            // this invalidation *before* any RAM state changes, so record
+            // and versions expire together with the filter. The journal
+            // batches tombstones (`trim_journal_watermark`) and flushes on
+            // watermark, capacity, or a host flush barrier — between
+            // flushes an acked trim is volatile like any buffered delta
+            // (fsync semantics, §3.7 crash contract). A failed journal
+            // append leaves the trim un-applied — only a spurious Bloom
+            // insert remains, a false positive the filters tolerate by
+            // design.
             let group = self.group_of(old);
             let fid = self.chain.insert(group, inv_ts);
             let out = self.deltas.journal_trim(
@@ -467,6 +483,15 @@ impl SsdDevice for TimeSsd {
             self.last_ts = inv_ts;
         }
         self.stats.user_trims += 1;
+        self.last_io_end = self.last_io_end.max(finish);
+        Ok(Completion { start, finish })
+    }
+
+    fn flush(&mut self, now: Nanos) -> Result<Completion> {
+        self.idle.on_arrival(now);
+        let start = now.max(self.busy_until);
+        let finish = self.flush_buffers(start)?;
+        self.stats.host_flushes += 1;
         self.last_io_end = self.last_io_end.max(finish);
         Ok(Completion { start, finish })
     }

@@ -306,9 +306,9 @@ impl TimeSsd {
                     }),
                     DeltaBody::Zeros => Ok(PageData::Zeros),
                     // Unreachable: `find` skips journal records.
-                    DeltaBody::Trim => {
-                        Err(AlmanacError::DecodeFailed("trim journal record is not a version"))
-                    }
+                    DeltaBody::Trim => Err(AlmanacError::DecodeFailed(
+                        "trim journal record is not a version",
+                    )),
                     DeltaBody::Bytes(encoded) => {
                         let page_size = self.config.geometry.page_size as usize;
                         let ref_bytes = if rec.ref_timestamp == REF_ZEROS {

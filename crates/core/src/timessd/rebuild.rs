@@ -241,7 +241,7 @@ impl TimeSsd {
             list.dedup_by_key(|(ts, _)| *ts);
         }
 
-        let mut deltas = DeltaManager::new(geo);
+        let mut deltas = DeltaManager::new(geo, config.trim_journal_watermark);
         // Re-associate surviving delta blocks with the rebuild segment so
         // dropping it later erases them.
         for (block, _) in &delta_blocks {

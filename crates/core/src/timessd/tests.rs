@@ -86,7 +86,8 @@ fn version_as_of_respects_trim_tombstone() {
     let trim = ssd.trim(Lpa(6), 20 * SEC_NS).unwrap();
     // Before the trim the version existed...
     assert_eq!(
-        ssd.version_as_of(Lpa(6), trim.start - 1).map(|v| v.timestamp),
+        ssd.version_as_of(Lpa(6), trim.start - 1)
+            .map(|v| v.timestamp),
         Some(c1.start)
     );
     // ...at and after the trim the page reads as zeros: no state to return.
@@ -157,13 +158,13 @@ fn rebuilt_trimmed_compressed_chain_keeps_equal_ts_boundary() {
     }
 }
 
-/// The headline crash guarantee of the trim journal: a bare trim (no
-/// flush, no GC, nothing else) followed immediately by a power cut stays
-/// trimmed, because `trim` programs its TRIM record synchronously before
-/// acknowledging.
+/// The strict-mode crash guarantee of the trim journal: with a watermark
+/// of 1, a bare trim (no flush, no GC, nothing else) followed immediately
+/// by a power cut stays trimmed, because `trim` programs its TRIM record
+/// synchronously before acknowledging.
 #[test]
 fn trim_survives_immediate_power_cut() {
-    let mut ssd = TimeSsd::new(medium_cfg());
+    let mut ssd = TimeSsd::new(medium_cfg().with_trim_journal_watermark(1));
     let lpa = Lpa(3);
     let mut now = SEC_NS;
     for v in 1..=3u64 {
@@ -185,6 +186,34 @@ fn trim_survives_immediate_power_cut() {
         .write(lpa, synthetic(lpa.0, 9), trim.finish + SEC_NS)
         .unwrap();
     assert!(rebuilt.is_mapped(lpa));
+}
+
+/// Under the default batched journal, an un-barriered trim is volatile
+/// (fsync semantics): a cut before any flush legally resurrects the head.
+/// A host flush barrier is the durability point — after it the same cut
+/// keeps the page trimmed.
+#[test]
+fn batched_trim_is_volatile_until_flush_barrier() {
+    let mut ssd = TimeSsd::new(medium_cfg());
+    assert!(ssd.config().trim_journal_watermark > 1);
+    let lpa = Lpa(3);
+    let mut now = SEC_NS;
+    for v in 1..=3u64 {
+        let c = ssd.write(lpa, synthetic(lpa.0, v), now).unwrap();
+        now = c.finish + SEC_NS;
+    }
+    let trim = ssd.trim(lpa, now).unwrap();
+    let rebuilt = TimeSsd::recover_from_flash(ssd.flash().clone(), ssd.config().clone());
+    assert!(
+        rebuilt.is_mapped(lpa),
+        "tombstone was buffered only — the cut resurrects the head"
+    );
+    // Now demand durability.
+    ssd.flush(trim.finish + SEC_NS).unwrap();
+    let rebuilt = TimeSsd::recover_from_flash(ssd.flash().clone(), ssd.config().clone());
+    assert!(!rebuilt.is_mapped(lpa), "flushed trim must be durable");
+    assert_eq!(rebuilt.trimmed_at(lpa), ssd.trimmed_at(lpa));
+    assert!(rebuilt.check_consistency().is_clean());
 }
 
 #[test]
@@ -677,7 +706,10 @@ fn failed_migration_program_leaves_old_copy_mapped() {
         }
         hit = true;
         assert_eq!(ssd.amt.get(Lpa(2)), AmtEntry::Mapped(old));
-        assert!(ssd.pvt.is_valid(old), "old copy invalidated by failed program");
+        assert!(
+            ssd.pvt.is_valid(old),
+            "old copy invalidated by failed program"
+        );
         let audit = ssd.check_consistency();
         assert!(
             audit.is_clean(),

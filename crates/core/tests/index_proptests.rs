@@ -16,8 +16,12 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Write { lpa: u64 },
-    Trim { lpa: u64 },
+    Write {
+        lpa: u64,
+    },
+    Trim {
+        lpa: u64,
+    },
     Flush,
     /// Jump virtual time forward, opening an idle window for background
     /// compression.
@@ -50,11 +54,7 @@ fn assert_chain_invariants(
     let chain = ssd.version_chain(Lpa(lpa));
     for (i, v) in chain.iter().enumerate() {
         prop_assert_eq!(v.lpa, Lpa(lpa), "entry owned by a different LPA");
-        prop_assert!(
-            !v.is_head || i == 0,
-            "head not first in chain of L{}",
-            lpa
-        );
+        prop_assert!(!v.is_head || i == 0, "head not first in chain of L{}", lpa);
         prop_assert!(
             committed.contains(&v.timestamp),
             "L{} chain invented timestamp {} the host never committed",

@@ -590,7 +590,9 @@ mod tests {
         let g = *f.geometry();
         f.program(g.ppa(0, 0), PageData::Zeros, oob(0), 0).unwrap();
         // Program #1 fails and leaves the page free.
-        let err = f.program(g.ppa(0, 1), PageData::Zeros, oob(1), 0).unwrap_err();
+        let err = f
+            .program(g.ppa(0, 1), PageData::Zeros, oob(1), 0)
+            .unwrap_err();
         assert!(matches!(
             err,
             FlashError::Injected {

@@ -579,7 +579,9 @@ mod tests {
         let kits = TimeKits::new(&mut ssd);
         let (hits, _) = kits.addr_query_all(Lpa(0), exported + 1000).unwrap();
         assert_eq!(hits.len(), 12); // 4 LPAs × 3 versions, nothing more
-        let (hits, _) = kits.addr_query(Lpa(exported - 1), u64::MAX, 10 * SEC_NS).unwrap();
+        let (hits, _) = kits
+            .addr_query(Lpa(exported - 1), u64::MAX, 10 * SEC_NS)
+            .unwrap();
         assert!(hits.is_empty()); // last page has no history, and no wrap
     }
 

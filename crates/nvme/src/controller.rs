@@ -110,7 +110,7 @@ impl NvmeController {
     fn execute(&mut self, e: SubmissionEntry, now: Nanos) -> CompletionEntry {
         let page_size = self.ssd.geometry().page_size as usize;
         match e.opcode {
-            NvmeOpcode::Flush => match self.ssd.flush_buffers(now) {
+            NvmeOpcode::Flush => match self.ssd.flush(now) {
                 Ok(_) => Self::complete(e.cid, NvmeStatus::Success, 0),
                 Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
             },

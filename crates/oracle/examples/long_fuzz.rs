@@ -8,6 +8,8 @@
 //!   nightly job explores a different deterministic slice each day (CI
 //!   derives it from the date). Default 0 reproduces the classic sweep.
 //! - `LONG_FUZZ_CASES` — cases per suite (default 32).
+//! - `LONG_FUZZ_BARRIERS` — `0` drops the flush-barrier suites (`barrier`,
+//!   `barcut`) from the sweep; any other value (default) keeps them.
 //! - `LONG_FUZZ_REPORT` — where to write the failure report consumed by the
 //!   CI artifact upload (default `long_fuzz_failure.txt`).
 //!
@@ -58,6 +60,7 @@ fn main() {
         .unwrap_or(32);
     let report_path =
         std::env::var("LONG_FUZZ_REPORT").unwrap_or_else(|_| "long_fuzz_failure.txt".into());
+    let barriers = std::env::var("LONG_FUZZ_BARRIERS").map_or(true, |v| v != "0");
     // The seed rotates the RNG stream by salting the case path, so every
     // nightly run walks a fresh deterministic slice of the input space.
     let salt = format!("long_fuzz/{seed}");
@@ -66,14 +69,58 @@ fn main() {
     let mut stalls = 0usize;
     for case in 0..cases {
         let mut rng = TestRng::for_case(&salt, case);
-        let suites: Vec<(&str, proptest::BoxedStrategy<Vec<strategy::OracleOp>>, SsdConfig)> = vec![
-            ("skew", strategy::skewed_writes(24, 400), SsdConfig::new(Geometry::medium_test())),
-            ("trim", strategy::trim_heavy(16, 400), cached(SsdConfig::new(Geometry::medium_test()))),
-            ("eqts", strategy::equal_ts_bursts(8, 400), SsdConfig::new(Geometry::medium_test())),
-            ("gc", strategy::gc_pressure(40, 500), SsdConfig::new(Geometry::small_test()).with_min_retention(SEC_NS)),
-            ("cut", strategy::power_cut_recovery(16, 400), cached(SsdConfig::new(Geometry::medium_test()))),
-            ("roll", strategy::rollback_storm(12, 300), SsdConfig::new(Geometry::medium_test())),
+        let suites: Vec<(
+            &str,
+            proptest::BoxedStrategy<Vec<strategy::OracleOp>>,
+            SsdConfig,
+        )> = vec![
+            (
+                "skew",
+                strategy::skewed_writes(24, 400),
+                SsdConfig::new(Geometry::medium_test()),
+            ),
+            (
+                "trim",
+                strategy::trim_heavy(16, 400),
+                cached(SsdConfig::new(Geometry::medium_test())),
+            ),
+            (
+                "eqts",
+                strategy::equal_ts_bursts(8, 400),
+                SsdConfig::new(Geometry::medium_test()),
+            ),
+            (
+                "gc",
+                strategy::gc_pressure(40, 500),
+                SsdConfig::new(Geometry::small_test()).with_min_retention(SEC_NS),
+            ),
+            (
+                "cut",
+                strategy::power_cut_recovery(16, 400),
+                cached(SsdConfig::new(Geometry::medium_test())),
+            ),
+            (
+                "roll",
+                strategy::rollback_storm(12, 300),
+                SsdConfig::new(Geometry::medium_test()),
+            ),
         ];
+        let mut suites = suites;
+        if barriers {
+            // Flush barriers under power cuts: mixed-in barriers hold the
+            // fsync contract, and barrier-before-every-cut runs must come
+            // back with zero crash waivers.
+            suites.push((
+                "barrier",
+                strategy::barrier_mix(16, 400),
+                cached(SsdConfig::new(Geometry::medium_test())),
+            ));
+            suites.push((
+                "barcut",
+                strategy::barrier_before_cut(16, 400),
+                SsdConfig::new(Geometry::medium_test()),
+            ));
+        }
         for (name, strat, cfg) in suites {
             let ops = strat.generate(&mut rng);
             let mut h = DifferentialHarness::new(cfg);
@@ -84,6 +131,18 @@ fn main() {
             }
             if !report.is_clean() {
                 fail(&report_path, seed, name, case, &report.to_string());
+            }
+            if name == "barcut" && h.model().waived_versions() != 0 {
+                fail(
+                    &report_path,
+                    seed,
+                    name,
+                    case,
+                    &format!(
+                        "barrier-before-cut run waived {} version(s); expected 0\n{report}",
+                        h.model().waived_versions()
+                    ),
+                );
             }
         }
         // Single-op injected faults under GC pressure (read, program, and

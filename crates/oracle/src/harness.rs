@@ -225,12 +225,21 @@ impl DifferentialHarness {
                 let at = self.now.saturating_sub(back);
                 self.as_of_check(lpa, at);
             }
-            OracleOp::RollBack { lpa, cnt, back, gap } => {
+            OracleOp::RollBack {
+                lpa,
+                cnt,
+                back,
+                gap,
+            } => {
                 self.now = self.now.saturating_add(gap);
                 let start = lpa % exported;
                 let cnt = cnt.clamp(1, exported - start);
                 let t = self.now.saturating_sub(back);
                 self.roll_back(Lpa(start), cnt, t);
+            }
+            OracleOp::Flush { gap } => {
+                self.now = self.now.saturating_add(gap);
+                self.checked_op(|h, now| h.flush(now).map(|_| ()));
             }
             OracleOp::PowerCut => self.power_cycle(),
             OracleOp::Check => {
@@ -512,7 +521,15 @@ impl DifferentialHarness {
         }
 
         let head_ts: BTreeMap<Lpa, Nanos> = heads.iter().map(|(&l, &(ts, _))| (l, ts)).collect();
-        self.model.on_power_cut(&head_ts, &buffered, &trims);
+        let lost = self.model.on_power_cut(&head_ts, &buffered, &trims);
+        for (lpa, ts) in lost {
+            // A flush-barriered tombstone lives on flash until its filter
+            // leaves the retention window, at which point the delta block
+            // may be erased legally. Only in-window losses are divergences.
+            if self.clock.saturating_sub(ts) <= self.config.min_retention {
+                self.diverge(Divergence::LostDurableTrim { lpa, ts });
+            }
+        }
         self.ssd = TimeSsd::recover_from_flash(flash, self.config.clone());
         self.stalled = false;
     }
@@ -685,9 +702,10 @@ impl SsdDevice for DifferentialHarness {
             }
             Err(AlmanacError::Flash(FlashError::PowerLoss)) => {
                 self.power_cycle();
-                // The cut fired before the trim was acknowledged, so its
-                // journal record never became durable (the record programs
-                // strictly before the ack); the host reissues the trim.
+                // The cut fired before the trim was acknowledged, so the
+                // host never saw it land (and no barrier covered it — the
+                // tombstone may or may not have reached flash); the host
+                // reissues the trim after recovery.
                 let c = self.ssd.trim(lpa, self.now.max(now))?;
                 if let Some(at) = self.ssd.trimmed_at(lpa) {
                     self.model.record_trim(lpa, at);
@@ -695,6 +713,43 @@ impl SsdDevice for DifferentialHarness {
                 Ok(c)
             }
             Err(e) => Err(e),
+        }
+    }
+
+    fn flush(&mut self, now: Nanos) -> Result<Completion> {
+        self.clock = self.clock.max(now);
+        match self.ssd.flush(now) {
+            Ok(c) => {
+                self.clock = self.clock.max(c.finish);
+                self.model.record_flush();
+                // The ack promises an empty volatile set: every buffered
+                // delta page must be on flash the instant flush returns.
+                let buffered = self.ssd.buffered_delta_pages();
+                if buffered != 0 {
+                    self.diverge(Divergence::BarrierLeftVolatile { buffered });
+                }
+                Ok(c)
+            }
+            Err(AlmanacError::Flash(FlashError::PowerLoss)) => {
+                // The cut fired mid-barrier, before the ack: no durability
+                // was promised, so the model records no barrier for the
+                // failed attempt. The host reissues the flush once.
+                self.power_cycle();
+                let c = self.ssd.flush(self.now.max(now))?;
+                self.clock = self.clock.max(c.finish);
+                self.model.record_flush();
+                let buffered = self.ssd.buffered_delta_pages();
+                if buffered != 0 {
+                    self.diverge(Divergence::BarrierLeftVolatile { buffered });
+                }
+                Ok(c)
+            }
+            Err(e) => {
+                if matches!(e, AlmanacError::DeviceStalled { .. }) {
+                    self.stalled = true;
+                }
+                Err(e)
+            }
         }
     }
 

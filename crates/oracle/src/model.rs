@@ -61,6 +61,12 @@ pub struct ModelDevice {
     /// as long as their journalled TRIM record does: `on_power_cut` keeps a
     /// tombstone exactly when a matching record is durable on flash.
     tombstones: BTreeMap<Lpa, Nanos>,
+    /// Tombstones covered by the last acknowledged flush barrier. The
+    /// barrier forces the trim journal to flash, and delta blocks are only
+    /// erased once their filter expires — so losing one of these in a power
+    /// cut (while still live and inside retention) breaks the barrier
+    /// contract, unlike the batched tombstones the device may legally drop.
+    flushed_trims: BTreeMap<Lpa, Nanos>,
 }
 
 impl ModelDevice {
@@ -72,7 +78,28 @@ impl ModelDevice {
             min_retention,
             histories: BTreeMap::new(),
             tombstones: BTreeMap::new(),
+            flushed_trims: BTreeMap::new(),
         }
+    }
+
+    /// Records an acknowledged flush barrier: every live tombstone is now
+    /// durable on flash and must survive future power cuts (until legal
+    /// retention expiry). Buffered write versions become durable too, but
+    /// their demand needs no bookkeeping here: a correct device empties its
+    /// buffers on the barrier, so a cut straight after one has no volatile
+    /// versions left to waive, and versions GC later re-compresses into RAM
+    /// buffers are legally volatile again until the next barrier.
+    pub fn record_flush(&mut self) {
+        self.flushed_trims = self.tombstones.clone();
+    }
+
+    /// Versions currently carrying the volatile-buffer waiver.
+    pub fn waived_versions(&self) -> usize {
+        self.histories
+            .values()
+            .flat_map(|h| h.iter())
+            .filter(|v| v.waived)
+            .count()
     }
 
     /// Host-visible page count.
@@ -86,7 +113,12 @@ impl ModelDevice {
     /// out a timestamp that does not strictly increase within the LPA's
     /// history — itself a divergence (two versions of one page must never
     /// share a timestamp, §3.7's back-pointer chain cannot represent it).
-    pub fn record_write(&mut self, lpa: Lpa, data: PageData, ts: Nanos) -> Result<(), (Nanos, Nanos)> {
+    pub fn record_write(
+        &mut self,
+        lpa: Lpa,
+        data: PageData,
+        ts: Nanos,
+    ) -> Result<(), (Nanos, Nanos)> {
         self.tombstones.remove(&lpa);
         let hist = self.histories.entry(lpa).or_default();
         if let Some(last) = hist.last_mut() {
@@ -158,10 +190,7 @@ impl ModelDevice {
 
     /// The version written exactly at `ts`, if any.
     pub fn version_at(&self, lpa: Lpa, ts: Nanos) -> Option<&ModelVersion> {
-        self.histories
-            .get(&lpa)?
-            .iter()
-            .find(|v| v.timestamp == ts)
+        self.histories.get(&lpa)?.iter().find(|v| v.timestamp == ts)
     }
 
     /// Full ascending history of `lpa`.
@@ -201,27 +230,44 @@ impl ModelDevice {
     /// lived only in volatile delta buffers at the cut; `surviving_trims`
     /// is the newest durable TRIM journal record per LPA.
     ///
-    /// - A trim tombstone survives iff its journal record is durable: `trim`
-    ///   programs the record synchronously before acknowledging, so an
-    ///   acknowledged trim always keeps its tombstone. A record expired with
-    ///   its filter legally loses the tombstone, and the surviving head is
-    ///   resurrected as the live version instead.
+    /// - A trim tombstone survives iff its journal record is durable. The
+    ///   journal batches tombstones, so an acked-but-unflushed trim may
+    ///   legally lose its tombstone in a cut (the surviving head resurrects
+    ///   as the live version), *unless* a flush barrier covered it — then
+    ///   the loss is a contract violation and the trim is returned in the
+    ///   demanded-lost list. A record expired with its filter is always a
+    ///   legal loss (the caller exempts it by age).
     /// - Invalidation times are RAM-only → every retention basis downgrades
     ///   to the version's own write timestamp (matching the rebuilt Bloom
     ///   chain, which can only shorten apparent retention).
     /// - `buffered` versions are waived: volatile state is legally lost.
     ///   (Acknowledged *writes* are never waived — the data page programs
     ///   before the ack, so every acknowledged write survives the cut and
-    ///   the rebuild reaches it, promoting delta-only heads if needed.)
+    ///   the rebuild reaches it, promoting delta-only heads if needed. After
+    ///   a barrier the buffered set of a correct device is empty, which is
+    ///   exactly the zero-waiver contract.)
+    ///
+    /// Returns the demanded-but-lost tombstones: trims covered by the last
+    /// barrier, still live at the cut, whose journal record did not survive.
     pub fn on_power_cut(
         &mut self,
         surviving_heads: &BTreeMap<Lpa, Nanos>,
         buffered: &[(Lpa, Nanos)],
         surviving_trims: &BTreeMap<Lpa, Nanos>,
-    ) {
+    ) -> Vec<(Lpa, Nanos)> {
+        let lost_durable: Vec<(Lpa, Nanos)> = self
+            .flushed_trims
+            .iter()
+            .filter(|(lpa, ts)| {
+                self.tombstones.get(lpa) == Some(ts) && surviving_trims.get(lpa) != Some(ts)
+            })
+            .map(|(&lpa, &ts)| (lpa, ts))
+            .collect();
         // A tombstone persists exactly when its TRIM record does.
         self.tombstones
             .retain(|lpa, ts| surviving_trims.get(lpa) == Some(ts));
+        // Everything that survived the cut is durable by definition.
+        self.flushed_trims = self.tombstones.clone();
         for (lpa, hist) in self.histories.iter_mut() {
             for v in hist.iter_mut() {
                 if v.invalidated.is_some() {
@@ -251,6 +297,7 @@ impl ModelDevice {
                 }
             }
         }
+        lost_durable
     }
 }
 
@@ -259,7 +306,10 @@ mod tests {
     use super::*;
 
     fn page(n: u64) -> PageData {
-        PageData::Synthetic { seed: 7, version: n }
+        PageData::Synthetic {
+            seed: 7,
+            version: n,
+        }
     }
 
     #[test]
@@ -285,7 +335,10 @@ mod tests {
         m.record_write(Lpa(0), page(2), 50).unwrap();
         let old = &m.history(Lpa(0))[0];
         assert_eq!(old.basis, Some(50));
-        assert!(m.obligated(old, 150), "age == min_retention stays obligated");
+        assert!(
+            m.obligated(old, 150),
+            "age == min_retention stays obligated"
+        );
         assert!(!m.obligated(old, 151), "strictly beyond the bound may drop");
         let head = &m.history(Lpa(0))[1];
         assert!(m.obligated(head, Nanos::MAX), "live head never expires");
@@ -308,7 +361,8 @@ mod tests {
         heads.insert(Lpa(5), 20);
         // No surviving TRIM record (it expired with its filter): the
         // tombstone is legally lost and the head resurrects.
-        m.on_power_cut(&heads, &[], &BTreeMap::new());
+        let lost = m.on_power_cut(&heads, &[], &BTreeMap::new());
+        assert!(lost.is_empty(), "un-barriered trim loss is legal");
         assert!(m.trimmed_at(Lpa(5)).is_none());
         let head = m.current(Lpa(5)).expect("expired trim resurrected");
         assert_eq!(head.timestamp, 20);
@@ -328,7 +382,10 @@ mod tests {
         trims.insert(Lpa(5), 30u64);
         m.on_power_cut(&heads, &[], &trims);
         assert_eq!(m.trimmed_at(Lpa(5)), Some(30), "acknowledged trim holds");
-        assert!(m.current(Lpa(5)).is_none(), "no resurrection through a tombstone");
+        assert!(
+            m.current(Lpa(5)).is_none(),
+            "no resurrection through a tombstone"
+        );
         // A stale record from a *superseded* trim must not re-trim the page.
         let mut m2 = ModelDevice::new(64, 4096, 100);
         m2.record_write(Lpa(6), page(1), 10).unwrap();
@@ -341,5 +398,58 @@ mod tests {
         m2.on_power_cut(&heads2, &[], &trims2);
         assert!(m2.trimmed_at(Lpa(6)).is_none());
         assert_eq!(m2.current(Lpa(6)).map(|v| v.timestamp), Some(20));
+    }
+
+    #[test]
+    fn barrier_demands_flushed_trims_survive() {
+        let mut m = ModelDevice::new(64, 4096, 100);
+        m.record_write(Lpa(5), page(1), 10).unwrap();
+        m.record_trim(Lpa(5), 30);
+        m.record_flush();
+        let mut heads = BTreeMap::new();
+        heads.insert(Lpa(5), 10);
+        // The barrier covered the trim, yet no record survived the cut.
+        let lost = m.on_power_cut(&heads, &[], &BTreeMap::new());
+        assert_eq!(lost, vec![(Lpa(5), 30)]);
+    }
+
+    #[test]
+    fn barrier_demand_ends_with_rewrite_or_survival() {
+        let mut m = ModelDevice::new(64, 4096, 100);
+        m.record_write(Lpa(5), page(1), 10).unwrap();
+        m.record_trim(Lpa(5), 30);
+        m.record_flush();
+        // Rewritten after the barrier: the tombstone is superseded, losing
+        // its record costs nothing.
+        m.record_write(Lpa(5), page(2), 40).unwrap();
+        let mut heads = BTreeMap::new();
+        heads.insert(Lpa(5), 40);
+        let lost = m.on_power_cut(&heads, &[], &BTreeMap::new());
+        assert!(lost.is_empty());
+
+        // And a record that *does* survive is not demanded either.
+        let mut m2 = ModelDevice::new(64, 4096, 100);
+        m2.record_write(Lpa(6), page(1), 10).unwrap();
+        m2.record_trim(Lpa(6), 30);
+        m2.record_flush();
+        let mut heads2 = BTreeMap::new();
+        heads2.insert(Lpa(6), 10);
+        let mut trims2 = BTreeMap::new();
+        trims2.insert(Lpa(6), 30u64);
+        let lost2 = m2.on_power_cut(&heads2, &[], &trims2);
+        assert!(lost2.is_empty());
+        assert_eq!(m2.trimmed_at(Lpa(6)), Some(30));
+    }
+
+    #[test]
+    fn waived_versions_counts_buffered_losses() {
+        let mut m = ModelDevice::new(64, 4096, 100);
+        m.record_write(Lpa(1), page(1), 10).unwrap();
+        m.record_write(Lpa(1), page(2), 20).unwrap();
+        assert_eq!(m.waived_versions(), 0);
+        let mut heads = BTreeMap::new();
+        heads.insert(Lpa(1), 20);
+        m.on_power_cut(&heads, &[(Lpa(1), 10)], &BTreeMap::new());
+        assert_eq!(m.waived_versions(), 1);
     }
 }

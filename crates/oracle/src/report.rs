@@ -86,16 +86,38 @@ pub enum Divergence {
         /// Up to the first few, rendered.
         sample: Vec<String>,
     },
+    /// A trim covered by an acknowledged flush barrier lost its tombstone
+    /// in a power cut (and was not old enough to have expired legally).
+    LostDurableTrim {
+        /// Affected page.
+        lpa: Lpa,
+        /// Trim instant the barrier made durable.
+        ts: Nanos,
+    },
+    /// The device acknowledged a flush barrier while delta buffers still
+    /// held records — the ack promises an empty volatile set.
+    BarrierLeftVolatile {
+        /// Buffered delta pages remaining after the ack.
+        buffered: usize,
+    },
 }
 
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Divergence::ChainOrder { lpa, chain } => {
-                write!(f, "chain of lpa {} not strictly decreasing: {chain:?}", lpa.0)
+                write!(
+                    f,
+                    "chain of lpa {} not strictly decreasing: {chain:?}",
+                    lpa.0
+                )
             }
             Divergence::PhantomVersion { lpa, ts } => {
-                write!(f, "lpa {} serves version @{ts} the model never wrote", lpa.0)
+                write!(
+                    f,
+                    "lpa {} serves version @{ts} the model never wrote",
+                    lpa.0
+                )
             }
             Divergence::ContentMismatch { lpa, ts, detail } => {
                 write!(f, "lpa {} version @{ts} content mismatch: {detail}", lpa.0)
@@ -123,7 +145,11 @@ impl fmt::Display for Divergence {
                 "as-of({}, t={at}) mismatch: device {device:?}, model {model:?}",
                 lpa.0
             ),
-            Divergence::RollbackMismatch { lpa, target, detail } => write!(
+            Divergence::RollbackMismatch {
+                lpa,
+                target,
+                detail,
+            } => write!(
                 f,
                 "rollback of lpa {} to t={target} diverged: {detail}",
                 lpa.0
@@ -131,6 +157,15 @@ impl fmt::Display for Divergence {
             Divergence::ConsistencyViolations { count, sample } => {
                 write!(f, "{count} consistency violations, e.g. {sample:?}")
             }
+            Divergence::LostDurableTrim { lpa, ts } => write!(
+                f,
+                "trim of lpa {} @{ts} was flush-barriered yet lost in the cut",
+                lpa.0
+            ),
+            Divergence::BarrierLeftVolatile { buffered } => write!(
+                f,
+                "flush acked with {buffered} delta buffer(s) still volatile"
+            ),
         }
     }
 }
@@ -168,7 +203,11 @@ impl fmt::Display for DivergenceReport {
                 f,
                 "clean: {} ops, no divergence{}",
                 self.applied,
-                if self.stalled { " (device stalled)" } else { "" }
+                if self.stalled {
+                    " (device stalled)"
+                } else {
+                    ""
+                }
             );
         }
         writeln!(f, "DIVERGENCE after {} ops:", self.applied)?;

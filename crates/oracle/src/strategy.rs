@@ -70,6 +70,13 @@ pub enum OracleOp {
         /// Virtual-time gap before the op.
         gap: Nanos,
     },
+    /// Host flush barrier: on ack, everything acknowledged before it —
+    /// buffered deltas and journalled tombstones alike — must survive any
+    /// later power cut.
+    Flush {
+        /// Virtual-time gap before the op.
+        gap: Nanos,
+    },
     /// Power-cut the device and recover it from flash.
     PowerCut,
     /// Run the full deep check (chains, obligations, consistency).
@@ -87,12 +94,7 @@ fn hot_cold_lpa(domain: u64) -> BoxedStrategy<u64> {
 }
 
 fn small_gap() -> BoxedStrategy<Nanos> {
-    prop_oneof![
-        Just(0),
-        1u64..100 * US_NS,
-        1u64..10 * MS_NS,
-    ]
-    .boxed()
+    prop_oneof![Just(0), 1u64..100 * US_NS, 1u64..10 * MS_NS,].boxed()
 }
 
 /// Hot/cold skewed writes with reads and as-of probes sprinkled in.
@@ -181,6 +183,42 @@ pub fn power_cut_recovery(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp
         1 => Just(OracleOp::Check),
     ];
     collection::vec(op, ops).boxed()
+}
+
+/// Power-cut traffic with flush barriers mixed in at random points: the
+/// oracle holds the device to the fsync contract — a trim or buffered
+/// delta acknowledged before a barrier must survive every later cut,
+/// while un-barriered ones may legally vanish.
+pub fn barrier_mix(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {
+    let op = prop_oneof![
+        5 => (0u64..domain, small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Write { lpa, gap }),
+        2 => (0u64..domain, small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Trim { lpa, gap }),
+        2 => (0u64..domain, small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Read { lpa, gap }),
+        2 => small_gap().prop_map(|gap| OracleOp::Flush { gap }),
+        1 => Just(OracleOp::PowerCut),
+        1 => Just(OracleOp::Check),
+    ];
+    collection::vec(op, ops).boxed()
+}
+
+/// Like [`barrier_mix`], but every power cut is preceded by a flush
+/// barrier issued in the same instant. With the volatile window closed by
+/// the barrier, the crash contract has no waivers left: the model demands
+/// *every* acknowledged write and trim back after the cut.
+pub fn barrier_before_cut(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {
+    barrier_mix(domain, ops)
+        .prop_map(|ops| {
+            ops.into_iter()
+                .flat_map(|op| match op {
+                    OracleOp::PowerCut => vec![OracleOp::Flush { gap: 0 }, OracleOp::PowerCut],
+                    other => vec![other],
+                })
+                .collect()
+        })
+        .boxed()
 }
 
 /// GC-pressure traffic paired with a single-op fault schedule: one read,

@@ -83,6 +83,29 @@ proptest! {
         let report = h.run(&ops);
         proptest::prop_assert!(report.is_clean(), "{report}");
     }
+
+    #[test]
+    fn barrier_mixes_match_model(ops in almanac_oracle::strategy::barrier_mix(16, 140)) {
+        let mut h = DifferentialHarness::new(medium_cfg());
+        let report = h.run(&ops);
+        proptest::prop_assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn barrier_before_every_cut_leaves_no_waivers(
+        ops in almanac_oracle::strategy::barrier_before_cut(16, 140)
+    ) {
+        // With a flush barrier issued in the same instant as every cut the
+        // volatile window is closed: the model may not need to waive a
+        // single version, and every acknowledged trim must survive.
+        let mut h = DifferentialHarness::new(medium_cfg());
+        let report = h.run(&ops);
+        proptest::prop_assert!(report.is_clean(), "{report}");
+        proptest::prop_assert_eq!(
+            h.model().waived_versions(), 0,
+            "barrier-before-cut runs must not waive any version"
+        );
+    }
 }
 
 /// A scheduled FaultPlan power cut fires mid-stream (from PR 1's fault
@@ -122,7 +145,10 @@ fn fault_plan_power_cut_mid_stream_stays_clean() {
 fn oracle_flags_device_only_write() {
     let mut h = DifferentialHarness::new(medium_cfg());
     for i in 0..10u64 {
-        h.apply(&OracleOp::Write { lpa: i % 3, gap: MS_NS });
+        h.apply(&OracleOp::Write {
+            lpa: i % 3,
+            gap: MS_NS,
+        });
     }
     assert!(h.check_now(), "clean before the seeded desync");
     let rogue = PageData::Synthetic {
@@ -148,7 +174,10 @@ fn oracle_flags_device_only_write() {
 fn oracle_flags_device_only_trim() {
     let mut h = DifferentialHarness::new(medium_cfg());
     for i in 0..10u64 {
-        h.apply(&OracleOp::Write { lpa: i % 3, gap: MS_NS });
+        h.apply(&OracleOp::Write {
+            lpa: i % 3,
+            gap: MS_NS,
+        });
     }
     h.ssd_mut_bypassing_model()
         .trim(Lpa(2), 10 * SEC_NS)
@@ -161,6 +190,26 @@ fn oracle_flags_device_only_trim() {
         "expected a head mismatch, got {:?}",
         h.divergences()
     );
+}
+
+/// The fsync contract end to end: a trim acknowledged under the batched
+/// journal is volatile until a flush barrier, after which a power cut must
+/// not resurrect the page — and the oracle watches every step.
+#[test]
+fn barrier_then_cut_holds_batched_trim_durable() {
+    let mut h = DifferentialHarness::new(medium_cfg());
+    for _ in 0..6 {
+        h.apply(&OracleOp::Write { lpa: 1, gap: MS_NS });
+    }
+    h.apply(&OracleOp::Trim { lpa: 1, gap: MS_NS });
+    h.apply(&OracleOp::Flush { gap: MS_NS });
+    h.apply(&OracleOp::PowerCut);
+    assert!(h.check_now(), "divergence: {:?}", h.divergences());
+    assert!(
+        !h.ssd().is_mapped(Lpa(1)),
+        "flush-barriered trim resurrected by the power cut"
+    );
+    assert_eq!(h.model().waived_versions(), 0);
 }
 
 /// Clean runs report no failing prefix; the minimiser agrees.
@@ -194,7 +243,11 @@ fn trace_replay_runs_under_the_oracle() {
     for i in 0..20u64 {
         records.push(TraceRecord::new(
             base + (i + 1) * MS_NS as Nanos,
-            if i % 3 == 0 { TraceOp::Trim } else { TraceOp::Write },
+            if i % 3 == 0 {
+                TraceOp::Trim
+            } else {
+                TraceOp::Write
+            },
             i % 40,
             1,
         ));
@@ -203,5 +256,9 @@ fn trace_replay_runs_under_the_oracle() {
 
     let report = replay(&trace, &mut h).expect("replay failed");
     assert!(report.replayed > 0);
-    assert!(h.check_now(), "divergence after replay: {:?}", h.divergences());
+    assert!(
+        h.check_now(),
+        "divergence after replay: {:?}",
+        h.divergences()
+    );
 }

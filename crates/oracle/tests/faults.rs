@@ -45,6 +45,9 @@ proptest! {
 /// to an invalid page and wedging the victim block's program sequence.
 #[test]
 fn failed_gc_program_keeps_old_copy_mapped() {
+    // Strict per-trim journalling: each trim flushes a delta page, which
+    // is the flash pressure that pushes this scenario into GC migration.
+    let strict = || pressure_cfg().with_trim_journal_watermark(1);
     let ops: Vec<OracleOp> = (0u64..260)
         .map(|i| match i % 9 {
             7 => OracleOp::Trim {
@@ -61,7 +64,7 @@ fn failed_gc_program_keeps_old_copy_mapped() {
 
     // Golden run: count how many GC programs the scenario performs so the
     // fault sweep below is known to cross them.
-    let mut h = DifferentialHarness::new(pressure_cfg());
+    let mut h = DifferentialHarness::new(strict());
     let report = h.run(&ops);
     assert!(report.is_clean(), "golden run diverged: {report}");
     let golden_gc = h.stats().gc_programs;
@@ -73,7 +76,7 @@ fn failed_gc_program_keeps_old_copy_mapped() {
     let total_programs = h.stats().user_programs + golden_gc + h.stats().delta_programs;
     let step = (total_programs / 48).max(1) as usize;
     for nth in (0..total_programs).step_by(step) {
-        let cfg = pressure_cfg().with_fault_plan(FaultPlan::new(0).with_program_fault(nth));
+        let cfg = strict().with_fault_plan(FaultPlan::new(0).with_program_fault(nth));
         let mut h = DifferentialHarness::new(cfg);
         let report = h.run(&ops);
         assert!(report.is_clean(), "program fault at {nth}: {report}");
@@ -88,7 +91,10 @@ fn injected_read_fault_is_reported_then_recovers() {
     let cfg = SsdConfig::new(Geometry::medium_test())
         .with_fault_plan(FaultPlan::new(0).with_read_fault(0));
     let mut h = DifferentialHarness::new(cfg);
-    let data = PageData::Synthetic { seed: 1, version: 1 };
+    let data = PageData::Synthetic {
+        seed: 1,
+        version: 1,
+    };
     h.write(Lpa(1), data, SEC_NS).unwrap();
     let err = h.read(Lpa(1), 2 * SEC_NS).unwrap_err();
     assert!(matches!(
@@ -96,5 +102,9 @@ fn injected_read_fault_is_reported_then_recovers() {
         AlmanacError::Flash(FlashError::Injected { .. })
     ));
     h.read(Lpa(1), 3 * SEC_NS).expect("fault is one-shot");
-    assert!(h.check_now(), "divergence after fault: {:?}", h.divergences());
+    assert!(
+        h.check_now(),
+        "divergence after fault: {:?}",
+        h.divergences()
+    );
 }

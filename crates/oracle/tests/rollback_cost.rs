@@ -32,7 +32,10 @@ fn build_device() -> TimeSsd {
     // page, so a mid-history rollback finds it current (no write needed).
     ssd.write(
         Lpa(6),
-        PageData::Synthetic { seed: 6, version: 1 },
+        PageData::Synthetic {
+            seed: 6,
+            version: 1,
+        },
         SEC_NS / 2,
     )
     .unwrap();
@@ -53,7 +56,10 @@ fn build_device() -> TimeSsd {
     }
     ssd.write(
         Lpa(7),
-        PageData::Synthetic { seed: 7, version: 1 },
+        PageData::Synthetic {
+            seed: 7,
+            version: 1,
+        },
         t + SEC_NS,
     )
     .unwrap();
@@ -153,7 +159,10 @@ fn rollback_all_cost_matches_reference_schedule() {
     assert_eq!(out.erased, erased);
     assert_eq!(out.skipped, skipped);
     assert_eq!(out.finish, finish, "completion time drifted from reference");
-    assert!(out.finish > now, "rollback performed writes, time must advance");
+    assert!(
+        out.finish > now,
+        "rollback performed writes, time must advance"
+    );
 
     // The scenario must exercise both retrieval paths and the erase path,
     // or the pin proves nothing.
@@ -172,7 +181,11 @@ fn rollback_all_cost_matches_reference_schedule() {
     assert_eq!(out.cost.flash_reads, reads);
     assert_eq!(out.cost.decompressions, decompressions);
     let serial: u64 = per_chip.iter().sum::<u64>() + cpu;
-    assert_eq!(out.cost.makespan(1), serial, "serial makespan must be the plain sum");
+    assert_eq!(
+        out.cost.makespan(1),
+        serial,
+        "serial makespan must be the plain sum"
+    );
     for threads in [1u32, 2, 3, 4, 8, 16] {
         assert_eq!(
             out.cost.makespan(threads),
@@ -205,7 +218,9 @@ fn rollback_to_current_state_writes_nothing() {
     let trims = ssd.stats().user_trims;
 
     let now2 = first.finish + 10 * SEC_NS;
-    let second = TimeKits::new(&mut ssd).roll_back_all(first.finish, now2).unwrap();
+    let second = TimeKits::new(&mut ssd)
+        .roll_back_all(first.finish, now2)
+        .unwrap();
 
     assert_eq!(second.finish, now2, "an idempotent rollback must not write");
     assert_eq!(ssd.stats().user_writes, writes);

@@ -297,7 +297,11 @@ impl<V> Strategy for OneOf<V> {
             }
             pick -= w;
         }
-        self.arms.last().expect("prop_oneof! with no arms").1.generate(rng)
+        self.arms
+            .last()
+            .expect("prop_oneof! with no arms")
+            .1
+            .generate(rng)
     }
 }
 

@@ -14,6 +14,8 @@ pub enum TraceOp {
     Write,
     /// TRIM/discard of the address range.
     Trim,
+    /// Durability barrier (flush); `lpa`/`pages` are ignored.
+    Flush,
 }
 
 impl fmt::Display for TraceOp {
@@ -22,6 +24,7 @@ impl fmt::Display for TraceOp {
             TraceOp::Read => write!(f, "R"),
             TraceOp::Write => write!(f, "W"),
             TraceOp::Trim => write!(f, "T"),
+            TraceOp::Flush => write!(f, "F"),
         }
     }
 }
@@ -34,6 +37,7 @@ impl FromStr for TraceOp {
             "R" | "r" | "read" => Ok(TraceOp::Read),
             "W" | "w" | "write" => Ok(TraceOp::Write),
             "T" | "t" | "trim" => Ok(TraceOp::Trim),
+            "F" | "f" | "flush" => Ok(TraceOp::Flush),
             _ => Err(()),
         }
     }
@@ -66,7 +70,7 @@ mod tests {
 
     #[test]
     fn op_roundtrip_via_strings() {
-        for op in [TraceOp::Read, TraceOp::Write, TraceOp::Trim] {
+        for op in [TraceOp::Read, TraceOp::Write, TraceOp::Trim, TraceOp::Flush] {
             assert_eq!(op.to_string().parse::<TraceOp>().unwrap(), op);
         }
         assert!("x".parse::<TraceOp>().is_err());

@@ -61,7 +61,13 @@ pub fn replay_with_sampler<D: SsdDevice>(
     let mut replayed = 0usize;
     let mut end_time = 0;
     'outer: for record in &trace.records {
-        for i in 0..record.pages.max(1) as u64 {
+        // A flush is one barrier per record, whatever `pages` says.
+        let span = if record.op == TraceOp::Flush {
+            1
+        } else {
+            record.pages.max(1) as u64
+        };
+        for i in 0..span {
             let lpa = Lpa((record.lpa + i) % exported);
             let result = match record.op {
                 TraceOp::Write => device
@@ -76,6 +82,7 @@ pub fn replay_with_sampler<D: SsdDevice>(
                     .map(|c| c.finish),
                 TraceOp::Read => device.read(lpa, record.at).map(|(_, c)| c.finish),
                 TraceOp::Trim => device.trim(lpa, record.at).map(|c| c.finish),
+                TraceOp::Flush => device.flush(record.at).map(|c| c.finish),
             };
             match result {
                 Ok(finish) => end_time = end_time.max(finish),
@@ -173,6 +180,22 @@ mod tests {
         let r = replay(&t, &mut ssd).unwrap();
         assert!(r.stalled);
         assert!(r.replayed < 2_000);
+    }
+
+    #[test]
+    fn flush_records_drive_the_barrier() {
+        let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::small_test()));
+        let t = Trace::new(
+            "fsync",
+            vec![
+                TraceRecord::new(SEC_NS, TraceOp::Write, 0, 4),
+                // `pages` on a flush is ignored: one barrier, not three.
+                TraceRecord::new(2 * SEC_NS, TraceOp::Flush, 0, 3),
+            ],
+        );
+        let r = replay(&t, &mut ssd).unwrap();
+        assert_eq!(r.replayed, 2);
+        assert_eq!(ssd.stats().host_flushes, 1);
     }
 
     #[test]

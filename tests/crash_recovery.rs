@@ -40,10 +40,17 @@ fn base_config() -> SsdConfig {
     cfg
 }
 
+/// Strict-mode config: a watermark of 1 flushes the trim journal on every
+/// trim, restoring the per-trim durability the trim-ack sweep asserts.
+fn strict_config() -> SsdConfig {
+    base_config().with_trim_journal_watermark(1)
+}
+
 #[derive(Debug, Clone, Copy)]
 enum HostOp {
     Write(Lpa, u64),
     Trim(Lpa),
+    Flush,
 }
 
 /// The scripted workload: six rounds of round-robin overwrites over a third
@@ -117,6 +124,7 @@ fn run(cfg: SsdConfig, ops: &[HostOp]) -> (RunEnd, Model, Vec<OpWindow>) {
             HostOp::Trim(lpa) => ssd.trim(lpa, now).inspect(|_| {
                 model.latest.insert(lpa.0, None);
             }),
+            HostOp::Flush => ssd.flush(now),
         };
         match result {
             Ok(c) => now = c.finish + OP_GAP,
@@ -271,7 +279,11 @@ fn check_cut(cut: u64, ops: &[HostOp]) -> (u64, usize) {
 
     // And the rebuilt device still takes writes.
     let t = rebuilt
-        .write(Lpa(0), PageData::bytes(b"post-crash".to_vec()), u64::MAX / 4)
+        .write(
+            Lpa(0),
+            PageData::bytes(b"post-crash".to_vec()),
+            u64::MAX / 4,
+        )
         .expect("rebuilt device must serve writes");
     let (data, _) = rebuilt.read(Lpa(0), t.finish + 1).unwrap();
     assert_eq!(data, PageData::bytes(b"post-crash".to_vec()));
@@ -317,10 +329,7 @@ fn same_fault_seed_reproduces_byte_identical_state() {
     let (_, _, windows) = run(cfg, &ops);
     // A mid-GC window is the most internally complex cut; prove even that
     // one is bit-for-bit reproducible.
-    let w = windows
-        .iter()
-        .find(|w| w.gc)
-        .expect("workload triggers GC");
+    let w = windows.iter().find(|w| w.gc).expect("workload triggers GC");
     let cut = (w.before + w.after) / 2;
     let (digest_a, survivors_a) = check_cut(cut, &ops);
     let (digest_b, survivors_b) = check_cut(cut, &ops);
@@ -328,7 +337,8 @@ fn same_fault_seed_reproduces_byte_identical_state() {
     assert_eq!(survivors_a, survivors_b);
 }
 
-/// Cut points bracketing the §3.7 trim-journal write path. A trim of a
+/// Cut points bracketing the §3.7 trim-journal write path, in strict mode
+/// (`trim_journal_watermark == 1`, the pre-batching behaviour): a trim of a
 /// mapped LPA journals a durable TRIM record (and flushes it) *before* any
 /// RAM state changes, so the crash contract is exact:
 ///
@@ -343,7 +353,7 @@ fn same_fault_seed_reproduces_byte_identical_state() {
 /// last acknowledged op on that LPA.
 #[test]
 fn trim_journal_cut_points_enforce_acknowledged_trim_state() {
-    let cfg = base_config();
+    let cfg = strict_config();
     let ops = script(&cfg);
     let (_, _, windows) = run(cfg, &ops);
 
@@ -368,7 +378,10 @@ fn trim_journal_cut_points_enforce_acknowledged_trim_state() {
             if cut == 0 {
                 continue;
             }
-            let (end, model, cut_windows) = run(cut_config(cut), &ops);
+            let (end, model, cut_windows) = run(
+                strict_config().with_fault_plan(FaultPlan::new(FAULT_SEED).with_power_cut_at(cut)),
+                &ops,
+            );
             let RunEnd::Cut(dead) = end else {
                 panic!("cut at flash op {cut} never fired");
             };
@@ -387,7 +400,7 @@ fn trim_journal_cut_points_enforce_acknowledged_trim_state() {
 
             let mut flash = dead.into_flash();
             flash.revive();
-            let mut rebuilt = TimeSsd::recover_from_flash(flash, base_config());
+            let mut rebuilt = TimeSsd::recover_from_flash(flash, strict_config());
             let audit = rebuilt.check_consistency();
             assert!(
                 audit.is_clean(),
@@ -445,6 +458,140 @@ fn trim_journal_cut_points_enforce_acknowledged_trim_state() {
     );
 }
 
+/// A scripted workload with explicit flush barriers: rounds of writes plus
+/// a few trims (below the journal watermark, so their tombstones sit in
+/// RAM) closed by a `flush`. Every flush is followed by writes, so a cut
+/// right after the barrier's last flash op kills the *next* host op and the
+/// model state at the cut is exactly the state the barrier acknowledged.
+fn barrier_script(cfg: &SsdConfig) -> Vec<HostOp> {
+    let set = cfg.exported_pages() / 4;
+    let mut version = 1u64;
+    let mut ops = Vec::new();
+    for r in 0..4u64 {
+        for i in 0..36 {
+            ops.push(HostOp::Write(Lpa((r * 7 + i) % set), version));
+            version += 1;
+        }
+        for j in 0..3 {
+            ops.push(HostOp::Trim(Lpa((r * 7 + j) % set)));
+        }
+        ops.push(HostOp::Flush);
+    }
+    // Tail writes so even the last flush has a successor op to die in.
+    for i in 0..8 {
+        ops.push(HostOp::Write(Lpa(i % set), version + i));
+    }
+    ops
+}
+
+/// Cut points bracketing the flush barrier's flash-op window under the
+/// *batched* tombstone journal (default watermark — acked trims are
+/// volatile between barriers):
+///
+/// - cut before the flush's first flash op, or killing its last program →
+///   the barrier was never acknowledged, so no new durability was promised;
+///   the rebuilt device must still pass the audit and keep serving I/O;
+/// - cut immediately after the ack (the next host op's first flash op
+///   dies) → zero waivers: the rebuilt device must reproduce the acked
+///   state exactly — every acked write mapped with its content, every
+///   acked trim tombstoned, nothing resurrected.
+#[test]
+fn flush_barrier_cut_points_make_acked_state_durable() {
+    let cfg = base_config();
+    let ops = barrier_script(&cfg);
+    let (end, _, windows) = run(cfg, &ops);
+    assert!(
+        matches!(end, RunEnd::Completed(_)),
+        "golden run must complete"
+    );
+
+    let mut acked_cuts = 0;
+    let mut unacked_cuts = 0;
+    let mut durable_tombstones = 0;
+    for (i, w) in windows.iter().enumerate() {
+        let HostOp::Flush = ops[i] else { continue };
+        // A barrier with nothing buffered programs no flash; the sweep
+        // wants barriers that actually move tombstones to flash.
+        if w.after <= w.before {
+            continue;
+        }
+        for cut in [w.before, w.after - 1, w.after] {
+            if cut == 0 {
+                continue;
+            }
+            let (end, model, cut_windows) = run(cut_config(cut), &ops);
+            let RunEnd::Cut(dead) = end else {
+                panic!("cut at flash op {cut} never fired");
+            };
+            let dying = cut_windows.len();
+            let mut flash = dead.into_flash();
+            flash.revive();
+            let mut rebuilt = TimeSsd::recover_from_flash(flash, base_config());
+            let audit = rebuilt.check_consistency();
+            assert!(
+                audit.is_clean(),
+                "barrier cut {cut}: rebuilt device failed audit: {:?}",
+                audit.violations
+            );
+
+            if cut == w.after && dying == i + 1 {
+                // The barrier was acknowledged and nothing later reached
+                // flash: the acked state must be reproduced verbatim.
+                acked_cuts += 1;
+                for (&lpa, state) in &model.latest {
+                    let lpa = Lpa(lpa);
+                    match state {
+                        Some(version) => {
+                            assert!(
+                                rebuilt.is_mapped(lpa),
+                                "barrier cut {cut}: acked write of {lpa} lost"
+                            );
+                            let (data, _) = rebuilt.read(lpa, u64::MAX / 4).unwrap();
+                            assert_eq!(
+                                data,
+                                content(lpa, *version),
+                                "barrier cut {cut}: {lpa} lost its barriered content"
+                            );
+                        }
+                        None => {
+                            durable_tombstones += 1;
+                            assert!(
+                                !rebuilt.is_mapped(lpa),
+                                "barrier cut {cut}: barriered trim of {lpa} resurrected"
+                            );
+                            assert!(
+                                rebuilt.trimmed_at(lpa).is_some(),
+                                "barrier cut {cut}: {lpa} tombstone lost despite the barrier"
+                            );
+                            let (data, _) = rebuilt.read(lpa, u64::MAX / 4).unwrap();
+                            assert_eq!(data, PageData::Zeros);
+                        }
+                    }
+                }
+            } else {
+                // Mid-barrier (or pre-barrier) cut: the flush never acked,
+                // so batched tombstones may be gone — only liveness and
+                // internal consistency are demanded.
+                unacked_cuts += 1;
+                let t = rebuilt
+                    .write(Lpa(0), PageData::bytes(b"post-cut".to_vec()), u64::MAX / 4)
+                    .expect("rebuilt device must serve writes");
+                let (data, _) = rebuilt.read(Lpa(0), t.finish + 1).unwrap();
+                assert_eq!(data, PageData::bytes(b"post-cut".to_vec()));
+            }
+        }
+    }
+    assert!(
+        acked_cuts > 0 && unacked_cuts > 0,
+        "sweep must land on both sides of the barrier ack \
+         (acked {acked_cuts}, unacked {unacked_cuts})"
+    );
+    assert!(
+        durable_tombstones > 0,
+        "no acked-barrier cut covered a batched tombstone"
+    );
+}
+
 #[test]
 fn power_loss_surfaces_as_error_not_panic() {
     let cfg = base_config().with_fault_plan(FaultPlan::new(1).with_power_cut_at(0));
@@ -452,10 +599,7 @@ fn power_loss_surfaces_as_error_not_panic() {
     let err = ssd
         .write(Lpa(0), content(Lpa(0), 1), OP_GAP)
         .expect_err("first flash op is past the cut");
-    assert!(matches!(
-        err,
-        AlmanacError::Flash(FlashError::PowerLoss)
-    ));
+    assert!(matches!(err, AlmanacError::Flash(FlashError::PowerLoss)));
 }
 
 #[test]
