@@ -24,6 +24,7 @@ use almanac_flash::{Geometry, Lpa, Nanos, PageData, DAY_NS, MS_NS, SEC_NS};
 use almanac_trace::{replay_with_sampler, ReplayReport, Trace};
 use almanac_workloads::TraceProfile;
 
+pub mod barrierlat;
 pub mod engine;
 pub mod fig10;
 pub mod fig11;

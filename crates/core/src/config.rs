@@ -1,7 +1,7 @@
 //! FTL configuration.
 
 use almanac_bloom::ChainConfig;
-use almanac_flash::{FaultPlan, Geometry, LatencyConfig, Nanos, DAY_NS, MS_NS};
+use almanac_flash::{FaultPlan, Geometry, LatencyConfig, Nanos, DAY_NS, MS_NS, US_NS};
 
 /// Configuration shared by every FTL in this crate.
 ///
@@ -73,6 +73,19 @@ pub struct SsdConfig {
     /// coalesce tombstones until the watermark, a capacity flush, or a host
     /// flush barrier; `0` relies on barriers/capacity alone.
     pub trim_journal_watermark: u32,
+    /// Controller-side cost charged per buffered delta page flushed by a host
+    /// barrier, on top of the flash program itself (DMA out of the buffer
+    /// RAM, OOB bookkeeping). Serialized against `busy_until`, so fsync
+    /// latency grows with the number of dirty buffers.
+    pub flush_page_cost: Nanos,
+    /// Fixed per-barrier overhead of a host flush (command decode, barrier
+    /// bookkeeping), charged even when no buffer is dirty.
+    pub flush_barrier_cost: Nanos,
+    /// Age bound on volatile TRIM tombstones: the maintenance path flushes
+    /// any delta buffer whose *oldest pending tombstone* was enqueued more
+    /// than this long ago, so rarely-trimming workloads don't hold acked
+    /// trims volatile indefinitely between barriers. `0` disables aging.
+    pub tombstone_flush_deadline: Nanos,
 }
 
 impl SsdConfig {
@@ -99,6 +112,9 @@ impl SsdConfig {
             amt_cache_pages: None,
             fault_plan: None,
             trim_journal_watermark: 8,
+            flush_page_cost: 10 * US_NS,
+            flush_barrier_cost: 20 * US_NS,
+            tombstone_flush_deadline: 500 * MS_NS,
         }
     }
 
@@ -150,6 +166,22 @@ impl SsdConfig {
         self.trim_journal_watermark = watermark;
         self
     }
+
+    /// Sets the barrier cost model: per-flushed-page controller cost and
+    /// fixed per-barrier overhead. `(0, 0)` reproduces the old zero-cost
+    /// barrier (flash programs are still charged).
+    pub fn with_flush_costs(mut self, page_cost: Nanos, barrier_cost: Nanos) -> Self {
+        self.flush_page_cost = page_cost;
+        self.flush_barrier_cost = barrier_cost;
+        self
+    }
+
+    /// Sets the volatile-tombstone age bound enforced by the maintenance
+    /// path (`0` disables aging flushes).
+    pub fn with_tombstone_flush_deadline(mut self, deadline: Nanos) -> Self {
+        self.tombstone_flush_deadline = deadline;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +205,9 @@ mod tests {
         assert!((cfg.idle_alpha - 0.5).abs() < f64::EPSILON);
         assert_eq!(cfg.idle_threshold, 10 * MS_NS);
         assert!((cfg.synthetic_delta_mean - 0.2).abs() < f64::EPSILON);
+        assert_eq!(cfg.flush_page_cost, 10 * US_NS);
+        assert_eq!(cfg.flush_barrier_cost, 20 * US_NS);
+        assert_eq!(cfg.tombstone_flush_deadline, 500 * MS_NS);
     }
 
     #[test]
@@ -180,9 +215,14 @@ mod tests {
         let cfg = SsdConfig::new(Geometry::small_test())
             .with_min_retention(5)
             .with_synthetic_delta(0.1, 0.01)
-            .with_trim_journal_watermark(1);
+            .with_trim_journal_watermark(1)
+            .with_flush_costs(7, 11)
+            .with_tombstone_flush_deadline(MS_NS);
         assert_eq!(cfg.min_retention, 5);
         assert!((cfg.synthetic_delta_mean - 0.1).abs() < f64::EPSILON);
         assert_eq!(cfg.trim_journal_watermark, 1);
+        assert_eq!(cfg.flush_page_cost, 7);
+        assert_eq!(cfg.flush_barrier_cost, 11);
+        assert_eq!(cfg.tombstone_flush_deadline, MS_NS);
     }
 }

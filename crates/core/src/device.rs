@@ -44,14 +44,14 @@ pub trait SsdDevice {
     /// acknowledged before the call — including versions still sitting in
     /// volatile buffers — is recoverable after a power cut.
     ///
-    /// Devices without volatile state complete immediately; that default is
-    /// provided here.
-    fn flush(&mut self, now: Nanos) -> Result<Completion> {
-        Ok(Completion {
-            start: now,
-            finish: now,
-        })
-    }
+    /// The barrier is also a *fence*: it must start no earlier than the
+    /// device frees up (`busy_until`) and complete no earlier than the last
+    /// acknowledged I/O finishes — an fsync acked before the writes it
+    /// fences would break the crash contract. There is deliberately no
+    /// default implementation: an earlier `Ok(Completion { start: now,
+    /// finish: now })` default silently gave every device a time-traveling
+    /// fsync.
+    fn flush(&mut self, now: Nanos) -> Result<Completion>;
 
     /// Cumulative statistics.
     fn stats(&self) -> &DeviceStats;

@@ -53,6 +53,9 @@ pub struct FlashGuardSsd {
     alloc: Allocator,
     stats: DeviceStats,
     busy_until: Nanos,
+    /// Finish time of the last acknowledged host I/O; a flush barrier can
+    /// complete no earlier than this.
+    last_io_end: Nanos,
     /// Host-read bit per physical page (the encrypt-signature detector).
     read_bit: Vec<bool>,
     /// Retained suspected-victim pages, by physical address.
@@ -80,6 +83,7 @@ impl FlashGuardSsd {
             alloc: Allocator::new(geo),
             stats: DeviceStats::default(),
             busy_until: 0,
+            last_io_end: 0,
             read_bit: vec![false; geo.total_pages() as usize],
             retained: HashMap::new(),
             retention: 20 * DAY_NS,
@@ -277,6 +281,7 @@ impl SsdDevice for FlashGuardSsd {
         let finish = self.write_page(lpa, data, start, start)?;
         self.stats.user_writes += 1;
         self.stats.user_programs += 1;
+        self.last_io_end = self.last_io_end.max(finish);
         let completion = Completion { start, finish };
         self.stats.write_lat.record(completion.response(now));
         Ok(completion)
@@ -300,6 +305,7 @@ impl SsdDevice for FlashGuardSsd {
             }
         };
         self.stats.user_reads += 1;
+        self.last_io_end = self.last_io_end.max(completion.finish);
         self.stats.read_lat.record(completion.response(now));
         Ok((data, completion))
     }
@@ -311,10 +317,25 @@ impl SsdDevice for FlashGuardSsd {
             self.invalidate(old, lpa, start);
         }
         self.stats.user_trims += 1;
-        Ok(Completion {
-            start,
-            finish: start + self.config.latency.transfer_ns,
-        })
+        let finish = start + self.config.latency.transfer_ns;
+        self.last_io_end = self.last_io_end.max(finish);
+        Ok(Completion { start, finish })
+    }
+
+    fn flush(&mut self, now: Nanos) -> Result<Completion> {
+        // No volatile buffers, but the barrier still fences in-flight work:
+        // it starts once the device frees up and completes no earlier than
+        // the last acknowledged I/O, plus the command overhead.
+        let start = now.max(self.busy_until);
+        let finish = start
+            .max(self.last_io_end)
+            .saturating_add(self.config.flush_barrier_cost);
+        self.busy_until = self.busy_until.max(finish);
+        self.last_io_end = self.last_io_end.max(finish);
+        self.stats.host_flushes += 1;
+        let completion = Completion { start, finish };
+        self.stats.flush_lat.record(completion.response(now));
+        Ok(completion)
     }
 
     fn stats(&self) -> &DeviceStats {
@@ -398,5 +419,18 @@ mod tests {
         ssd.read(Lpa(3), 10).unwrap();
         ssd.trim(Lpa(3), 20).unwrap();
         assert_eq!(ssd.retained_versions(Lpa(3)).len(), 1);
+    }
+
+    #[test]
+    fn flush_fences_in_flight_writes() {
+        // Regression: the old trait default acked a flush at its arrival
+        // time even while a write issued at the same instant was still in
+        // flight on the chips.
+        let mut ssd = small();
+        let w = ssd.write(Lpa(0), PageData::Zeros, 0).unwrap();
+        assert!(w.finish > 0);
+        let f = ssd.flush(0).unwrap();
+        assert!(f.finish >= w.finish, "fsync must not outrun the write");
+        assert_eq!(ssd.stats().host_flushes, 1);
     }
 }

@@ -39,6 +39,9 @@ pub struct RegularSsd {
     alloc: Allocator,
     stats: DeviceStats,
     busy_until: Nanos,
+    /// Finish time of the last acknowledged host I/O; a flush barrier can
+    /// complete no earlier than this.
+    last_io_end: Nanos,
     /// Erase count at the last wear-leveling attempt (rate limiter).
     wl_mark: u64,
 }
@@ -65,6 +68,7 @@ impl RegularSsd {
             alloc: Allocator::new(geo),
             stats: DeviceStats::default(),
             busy_until: 0,
+            last_io_end: 0,
             wl_mark: 0,
             config,
         }
@@ -263,6 +267,7 @@ impl SsdDevice for RegularSsd {
         let finish = self.write_page(lpa, data, back_ptr, start, start, false)?;
         self.stats.user_writes += 1;
         self.stats.user_programs += 1;
+        self.last_io_end = self.last_io_end.max(finish);
         let completion = Completion { start, finish };
         self.stats.write_lat.record(completion.response(now));
         Ok(completion)
@@ -286,6 +291,7 @@ impl SsdDevice for RegularSsd {
             }
         };
         self.stats.user_reads += 1;
+        self.last_io_end = self.last_io_end.max(completion.finish);
         self.stats.read_lat.record(completion.response(now));
         Ok((data, completion))
     }
@@ -298,10 +304,25 @@ impl SsdDevice for RegularSsd {
         }
         self.gmd.note_update(lpa);
         self.stats.user_trims += 1;
-        Ok(Completion {
-            start,
-            finish: start + self.config.latency.transfer_ns,
-        })
+        let finish = start + self.config.latency.transfer_ns;
+        self.last_io_end = self.last_io_end.max(finish);
+        Ok(Completion { start, finish })
+    }
+
+    fn flush(&mut self, now: Nanos) -> Result<Completion> {
+        // No volatile buffers, but the barrier still fences in-flight work:
+        // it starts once the device frees up and completes no earlier than
+        // the last acknowledged I/O, plus the command overhead.
+        let start = now.max(self.busy_until);
+        let finish = start
+            .max(self.last_io_end)
+            .saturating_add(self.config.flush_barrier_cost);
+        self.busy_until = self.busy_until.max(finish);
+        self.last_io_end = self.last_io_end.max(finish);
+        self.stats.host_flushes += 1;
+        let completion = Completion { start, finish };
+        self.stats.flush_lat.record(completion.response(now));
+        Ok(completion)
     }
 
     fn stats(&self) -> &DeviceStats {
@@ -480,6 +501,30 @@ mod tests {
             s.user_programs + s.gc_programs + s.wl_programs,
             ssd.flash().stats().programs
         );
+    }
+
+    #[test]
+    fn flush_fences_in_flight_writes() {
+        // Regression: the old trait default returned `finish: now`, letting
+        // an fsync issued at the write's arrival time complete *before* the
+        // write it fences.
+        let mut ssd = small();
+        let w = ssd.write(Lpa(0), PageData::Zeros, 0).unwrap();
+        assert!(w.finish > 0, "a flash program takes time");
+        let f = ssd.flush(0).unwrap();
+        assert!(
+            f.finish >= w.finish,
+            "flush at t=0 acked at {} before the write it fences ({})",
+            f.finish,
+            w.finish
+        );
+        assert_eq!(ssd.stats().host_flushes, 1);
+        assert!(ssd.stats().flush_lat.count == 1);
+        // A later flush on an idle device still pays the barrier overhead
+        // and never moves backwards.
+        let f2 = ssd.flush(f.finish + 1_000_000).unwrap();
+        assert!(f2.finish >= f2.start);
+        assert!(f2.start >= f.finish);
     }
 
     #[test]

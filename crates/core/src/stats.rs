@@ -94,6 +94,12 @@ pub struct DeviceStats {
     pub user_trims: u64,
     /// Host flush barriers served.
     pub host_flushes: u64,
+    /// Buffered delta pages programmed by host flush barriers (each charges
+    /// `flush_page_cost` of controller time on top of its flash program).
+    pub flush_pages: u64,
+    /// Buffered delta pages flushed by the age-based group-flush scheduler
+    /// (oldest pending tombstone exceeded `tombstone_flush_deadline`).
+    pub aging_flushes: u64,
     /// Flash programs for host data.
     pub user_programs: u64,
     /// Flash reads issued by GC (victim scans, chain traversals).
@@ -122,6 +128,8 @@ pub struct DeviceStats {
     pub read_lat: LatencyAcc,
     /// Write latency accumulator.
     pub write_lat: LatencyAcc,
+    /// Host flush-barrier latency accumulator.
+    pub flush_lat: LatencyAcc,
     /// Total virtual time spent inside GC.
     pub gc_time_ns: Nanos,
 }
@@ -159,6 +167,8 @@ impl DeviceStats {
             user_writes: self.user_writes - earlier.user_writes,
             user_trims: self.user_trims - earlier.user_trims,
             host_flushes: self.host_flushes - earlier.host_flushes,
+            flush_pages: self.flush_pages - earlier.flush_pages,
+            aging_flushes: self.aging_flushes - earlier.aging_flushes,
             user_programs: self.user_programs - earlier.user_programs,
             gc_reads: self.gc_reads - earlier.gc_reads,
             gc_programs: self.gc_programs - earlier.gc_programs,
@@ -173,6 +183,7 @@ impl DeviceStats {
             filters_dropped: self.filters_dropped - earlier.filters_dropped,
             read_lat: lat(&self.read_lat, &earlier.read_lat),
             write_lat: lat(&self.write_lat, &earlier.write_lat),
+            flush_lat: lat(&self.flush_lat, &earlier.flush_lat),
             gc_time_ns: self.gc_time_ns - earlier.gc_time_ns,
         }
     }
@@ -261,6 +272,28 @@ mod tests {
     #[test]
     fn wa_defaults_to_one() {
         assert!((DeviceStats::default().write_amplification() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_diffs_flush_accounting() {
+        let mut early = DeviceStats {
+            host_flushes: 1,
+            flush_pages: 2,
+            aging_flushes: 3,
+            ..Default::default()
+        };
+        early.flush_lat.record(100);
+        let mut later = early;
+        later.host_flushes = 5;
+        later.flush_pages = 9;
+        later.aging_flushes = 4;
+        later.flush_lat.record(300);
+        let d = later.since(&early);
+        assert_eq!(d.host_flushes, 4);
+        assert_eq!(d.flush_pages, 7);
+        assert_eq!(d.aging_flushes, 1);
+        assert_eq!(d.flush_lat.count, 1);
+        assert_eq!(d.flush_lat.sum_ns, 300);
     }
 
     #[test]

@@ -37,6 +37,36 @@ struct Buffer {
     first_seq: u64,
     /// TRIM tombstones buffered since the last flush of this buffer.
     pending_trims: u32,
+    /// Enqueue instant of the oldest pending tombstone in this buffer, for
+    /// the age-based group-flush scheduler. `None` while no trim is pending.
+    oldest_trim_at: Option<Nanos>,
+}
+
+/// Outcome of a host barrier ([`DeltaManager::flush_all`]).
+///
+/// Unlike a plain `Result`, this carries the time and program count of the
+/// buffers that *did* reach flash even when a later buffer's program faulted:
+/// the device must advance `busy_until` for work actually performed before
+/// refusing to ack the barrier.
+#[derive(Debug)]
+pub struct BarrierFlush {
+    /// Completion time of the last successful program (or `now` if none).
+    pub finish: Nanos,
+    /// Flash programs performed before any fault.
+    pub programs: u64,
+    /// The mid-loop fault, if one stopped the barrier short.
+    pub error: Option<AlmanacError>,
+}
+
+impl BarrierFlush {
+    /// Converts to a `Result`, for callers that have already banked the
+    /// partial `finish`/`programs`.
+    pub fn into_result(self) -> Result<(Nanos, u64)> {
+        match self.error {
+            None => Ok((self.finish, self.programs)),
+            Some(e) => Err(e),
+        }
+    }
 }
 
 /// Outcome of appending one delta record.
@@ -168,6 +198,7 @@ impl DeltaManager {
                     used: 0,
                     first_seq: self.seq,
                     pending_trims: 0,
+                    oldest_trim_at: None,
                 },
             );
         }
@@ -234,6 +265,7 @@ impl DeltaManager {
             .get_mut(&filter)
             .ok_or(AlmanacError::Internal("delta buffer vanished"))?;
         buf.pending_trims += 1;
+        buf.oldest_trim_at.get_or_insert(now);
         if self.trim_watermark != 0 && buf.pending_trims >= self.trim_watermark {
             let (finish, programs) = self.flush_filter(filter, bst, flash, out.finish)?;
             return Ok(AppendOutcome {
@@ -245,26 +277,87 @@ impl DeltaManager {
         Ok(out)
     }
 
-    /// Flushes every buffer (host barrier / shutdown). Only when *every*
-    /// buffer reaches flash does the barrier point advance: a mid-loop
-    /// program fault leaves `barrier_seq` untouched (and the failed buffer
-    /// intact), so the caller can refuse to ack and retry.
+    /// Flushes every buffer (host barrier / shutdown), charging `page_cost`
+    /// of controller-side work on top of each flash program. Only when
+    /// *every* buffer reaches flash does the barrier point advance: a
+    /// mid-loop program fault leaves `barrier_seq` untouched (and the failed
+    /// buffer intact), so the caller can refuse to ack and retry.
+    ///
+    /// The returned [`BarrierFlush`] carries the time and programs of the
+    /// buffers flushed *before* any fault — partial work happened on real
+    /// flash and must be charged even when the barrier as a whole fails.
     pub fn flush_all(
         &mut self,
         bst: &mut Bst,
         flash: &mut FlashArray,
         now: Nanos,
-    ) -> Result<(Nanos, u64)> {
+        page_cost: Nanos,
+    ) -> BarrierFlush {
         let filters: Vec<FilterId> = self.buffers.keys().copied().collect();
         let mut t = now;
         let mut programs = 0;
         for f in filters {
-            let (ft, p) = self.flush_filter(f, bst, flash, t)?;
-            t = ft;
-            programs += p;
+            match self.flush_filter(f, bst, flash, t) {
+                Ok((ft, p)) => {
+                    t = ft.saturating_add(page_cost * p);
+                    programs += p;
+                }
+                Err(e) => {
+                    return BarrierFlush {
+                        finish: t,
+                        programs,
+                        error: Some(e),
+                    };
+                }
+            }
         }
         self.barrier_seq = self.seq;
-        Ok((t, programs))
+        BarrierFlush {
+            finish: t,
+            programs,
+            error: None,
+        }
+    }
+
+    /// Filters whose oldest pending tombstone was enqueued more than
+    /// `deadline` ago — the batches the age-based group-flush scheduler owes
+    /// a flush. Empty when `deadline` is 0 (aging disabled).
+    pub fn aged_trim_filters(&self, now: Nanos, deadline: Nanos) -> Vec<FilterId> {
+        if deadline == 0 {
+            return Vec::new();
+        }
+        let mut aged: Vec<FilterId> = self
+            .buffers
+            .iter()
+            .filter(|(_, b)| {
+                b.oldest_trim_at
+                    .is_some_and(|at| now.saturating_sub(at) > deadline)
+            })
+            .map(|(f, _)| *f)
+            .collect();
+        aged.sort_unstable();
+        aged
+    }
+
+    /// Age of the oldest pending (volatile) tombstone across every buffer,
+    /// or `None` when no tombstone is buffered. The consistency checker
+    /// asserts this never exceeds the configured deadline at op boundaries.
+    pub fn oldest_pending_trim_age(&self, now: Nanos) -> Option<Nanos> {
+        self.buffers
+            .values()
+            .filter_map(|b| b.oldest_trim_at)
+            .map(|at| now.saturating_sub(at))
+            .max()
+    }
+
+    /// Test hook: backdates the pending-tombstone stamp of `filter`'s
+    /// buffer, forging the over-deadline corruption the aging audit catches.
+    #[cfg(test)]
+    pub(crate) fn backdate_trim_stamp(&mut self, filter: FilterId, at: Nanos) {
+        if let Some(buf) = self.buffers.get_mut(&filter) {
+            buf.pending_trims = buf.pending_trims.max(1);
+            buf.oldest_trim_at = Some(at);
+        }
     }
 
     /// Reserved pages of live buffers holding records from at or before the
@@ -500,7 +593,10 @@ mod tests {
             .unwrap();
         mgr.append(1, record(2, 11, 8), &mut alloc, &mut bst, &mut flash, 0)
             .unwrap();
-        let (_, programs) = mgr.flush_all(&mut bst, &mut flash, 100).unwrap();
+        let (_, programs) = mgr
+            .flush_all(&mut bst, &mut flash, 100, 0)
+            .into_result()
+            .unwrap();
         assert_eq!(programs, 2);
         assert_eq!(mgr.buffered_pages().count(), 0);
         assert!(mgr.pre_barrier_buffers().is_empty());
@@ -552,14 +648,104 @@ mod tests {
             .with_fault_plan(almanac_flash::FaultPlan::new(1).with_program_fault(0));
         mgr.append(0, record(1, 10, 8), &mut alloc, &mut bst, &mut flash, 0)
             .unwrap();
-        assert!(mgr.flush_all(&mut bst, &mut flash, 50).is_err());
+        assert!(mgr.flush_all(&mut bst, &mut flash, 50, 0).error.is_some());
         // The failed barrier was never acked, so the surviving buffer is not
         // a contract violation...
         assert!(mgr.pre_barrier_buffers().is_empty());
         // ...and the retry completes the barrier for real.
-        let (_, programs) = mgr.flush_all(&mut bst, &mut flash, 60).unwrap();
+        let (_, programs) = mgr
+            .flush_all(&mut bst, &mut flash, 60, 0)
+            .into_result()
+            .unwrap();
         assert_eq!(programs, 1);
         assert_eq!(mgr.buffered_pages().count(), 0);
+    }
+
+    #[test]
+    fn failed_barrier_still_charges_partial_work() {
+        // Two dirty filters; the SECOND program faults. The barrier must
+        // report the time and program count of the first flush — that page
+        // really reached flash — alongside the error.
+        let geo = Geometry::small_test();
+        let mut mgr = DeltaManager::new(geo, 8);
+        let mut alloc = Allocator::new(geo);
+        let mut bst = Bst::new(geo.total_blocks());
+        let mut flash = FlashArray::new(geo, LatencyConfig::default())
+            .with_fault_plan(almanac_flash::FaultPlan::new(1).with_program_fault(1));
+        mgr.append(0, record(1, 10, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        mgr.append(1, record(2, 11, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        let out = mgr.flush_all(&mut bst, &mut flash, 50, 7);
+        assert!(out.error.is_some(), "injected fault must surface");
+        assert_eq!(out.programs, 1, "first filter's program happened");
+        assert!(
+            out.finish > 50 + 7,
+            "partial finish covers the successful program plus page cost, got {}",
+            out.finish
+        );
+        assert_eq!(
+            mgr.buffered_pages().count(),
+            1,
+            "only the faulted buffer survives"
+        );
+        // The retry flushes the survivor and completes the barrier.
+        let (_, programs) = mgr
+            .flush_all(&mut bst, &mut flash, out.finish, 7)
+            .into_result()
+            .unwrap();
+        assert_eq!(programs, 1);
+        assert!(mgr.pre_barrier_buffers().is_empty());
+    }
+
+    #[test]
+    fn page_cost_extends_barrier_finish() {
+        let (mut mgr, mut alloc, mut bst, mut flash) = fixture();
+        mgr.append(0, record(1, 10, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        mgr.append(1, record(2, 11, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        let free = mgr
+            .clone()
+            .flush_all(&mut bst.clone(), &mut flash.clone(), 100, 0)
+            .into_result()
+            .unwrap();
+        let costed = mgr
+            .flush_all(&mut bst, &mut flash, 100, 1000)
+            .into_result()
+            .unwrap();
+        assert_eq!(costed.1, 2);
+        assert_eq!(
+            costed.0,
+            free.0 + 2 * 1000,
+            "each flushed page adds its controller cost"
+        );
+    }
+
+    #[test]
+    fn aging_tracks_oldest_pending_tombstone() {
+        let (mut mgr, mut alloc, mut bst, mut flash) = fixture();
+        // Plain write deltas never age.
+        mgr.append(0, record(1, 10, 8), &mut alloc, &mut bst, &mut flash, 0)
+            .unwrap();
+        assert!(mgr.oldest_pending_trim_age(1_000_000).is_none());
+        assert!(mgr.aged_trim_filters(1_000_000, 100).is_empty());
+        // A journalled trim stamps its enqueue instant.
+        mgr.journal_trim(1, record(2, 20, 8), &mut alloc, &mut bst, &mut flash, 500)
+            .unwrap();
+        mgr.journal_trim(1, record(3, 30, 8), &mut alloc, &mut bst, &mut flash, 900)
+            .unwrap();
+        assert_eq!(mgr.oldest_pending_trim_age(600), Some(100));
+        assert!(
+            mgr.aged_trim_filters(600, 100).is_empty(),
+            "age == deadline holds"
+        );
+        assert_eq!(mgr.aged_trim_filters(601, 100), vec![1]);
+        assert!(mgr.aged_trim_filters(601, 0).is_empty(), "0 disables aging");
+        // Flushing the aged batch clears the stamp.
+        mgr.flush_filter(1, &mut bst, &mut flash, 700).unwrap();
+        assert!(mgr.oldest_pending_trim_age(10_000).is_none());
+        assert!(mgr.aged_trim_filters(10_000, 100).is_empty());
     }
 
     #[test]
@@ -572,7 +758,10 @@ mod tests {
         assert_eq!(p1, 1);
         let (t2, p2) = mgr.flush_filter(0, &mut bst, &mut flash, t1).unwrap();
         assert_eq!((t2, p2), (t1, 0), "second flush is a no-op");
-        let (t3, p3) = mgr.flush_all(&mut bst, &mut flash, t2).unwrap();
+        let (t3, p3) = mgr
+            .flush_all(&mut bst, &mut flash, t2, 1000)
+            .into_result()
+            .unwrap();
         assert_eq!((t3, p3), (t2, 0), "barrier over empty buffers is free");
         assert!(flash.peek(out.page).is_ok());
     }

@@ -39,6 +39,13 @@ impl IdlePredictor {
         self.predicted as Nanos
     }
 
+    /// Instant of the most recent request arrival (`None` before any I/O).
+    /// This is the device's notion of "now" between requests — the last
+    /// time the maintenance path had a chance to run.
+    pub fn last_arrival(&self) -> Option<Nanos> {
+        self.last_arrival
+    }
+
     /// True when the prediction clears the background-compression threshold.
     pub fn worth_compressing(&self) -> bool {
         self.predicted() >= self.threshold

@@ -198,12 +198,42 @@ impl TimeSsd {
     /// barrier point advances; on failure nothing is acked and a retry
     /// re-targets the surviving buffers.
     pub fn flush_buffers(&mut self, now: Nanos) -> Result<Nanos> {
-        let (t, programs) =
-            self.deltas
-                .flush_all(&mut self.bst, &mut self.flash, now.max(self.busy_until))?;
-        self.stats.delta_programs += programs;
-        self.busy_until = self.busy_until.max(t);
+        let out = self.deltas.flush_all(
+            &mut self.bst,
+            &mut self.flash,
+            now.max(self.busy_until),
+            self.config.flush_page_cost,
+        );
+        // Bank partial work *before* surfacing any mid-loop fault: the
+        // buffers flushed before the fault programmed real flash and spent
+        // real controller time, so `busy_until` and the program counters
+        // must advance even when the barrier as a whole is not acked.
+        self.stats.delta_programs += out.programs;
+        self.stats.flush_pages += out.programs;
+        self.busy_until = self.busy_until.max(out.finish);
+        let (t, _) = out.into_result()?;
         Ok(t)
+    }
+
+    /// Age-based group-flush scheduler (§3.6 maintenance path): flushes any
+    /// delta buffer whose oldest pending tombstone was enqueued more than
+    /// `tombstone_flush_deadline` ago, bounding how long an acked trim stays
+    /// volatile between host barriers on rarely-trimming workloads.
+    ///
+    /// Runs at every host-op arrival, so the bound holds at op boundaries
+    /// without an idle-predictor gate. Like background compression it does
+    /// not advance `busy_until` — flash programs are charged to the chips
+    /// and the stats, but host traffic arriving mid-flush is not delayed.
+    pub(crate) fn flush_aged_tombstones(&mut self, now: Nanos) -> Result<()> {
+        let deadline = self.config.tombstone_flush_deadline;
+        for fid in self.deltas.aged_trim_filters(now, deadline) {
+            let (_, programs) =
+                self.deltas
+                    .flush_filter(fid, &mut self.bst, &mut self.flash, now)?;
+            self.stats.delta_programs += programs;
+            self.stats.aging_flushes += programs;
+        }
+        Ok(())
     }
 
     /// The Bloom-filter group key of a physical page (§3.5: invalidations
@@ -391,6 +421,7 @@ impl SsdDevice for TimeSsd {
     fn write(&mut self, lpa: Lpa, data: PageData, now: Nanos) -> Result<Completion> {
         self.check_lpa(lpa)?;
         self.background_compress_window(now)?;
+        self.flush_aged_tombstones(now)?;
         self.idle.on_arrival(now);
         self.maybe_gc(now)?;
         let mut start = now.max(self.busy_until).max(self.last_ts + 1);
@@ -411,6 +442,7 @@ impl SsdDevice for TimeSsd {
     fn read(&mut self, lpa: Lpa, now: Nanos) -> Result<(PageData, Completion)> {
         self.check_lpa(lpa)?;
         self.background_compress_window(now)?;
+        self.flush_aged_tombstones(now)?;
         self.idle.on_arrival(now);
         let mut start = now.max(self.busy_until);
         start += self.map_cache.access(lpa, false, &self.config.latency);
@@ -435,6 +467,7 @@ impl SsdDevice for TimeSsd {
 
     fn trim(&mut self, lpa: Lpa, now: Nanos) -> Result<Completion> {
         self.check_lpa(lpa)?;
+        self.flush_aged_tombstones(now)?;
         self.idle.on_arrival(now);
         self.maybe_gc(now)?;
         let start = now.max(self.busy_until);
@@ -489,11 +522,21 @@ impl SsdDevice for TimeSsd {
 
     fn flush(&mut self, now: Nanos) -> Result<Completion> {
         self.idle.on_arrival(now);
+        // A barrier fences every in-flight host op: it can start no earlier
+        // than the device frees up and finish no earlier than the last
+        // outstanding completion (`last_io_end`) — an fsync acked before the
+        // writes it fences would break the crash contract.
         let start = now.max(self.busy_until);
-        let finish = self.flush_buffers(start)?;
+        let flushed = self.flush_buffers(start)?;
+        let finish = flushed
+            .max(self.last_io_end)
+            .saturating_add(self.config.flush_barrier_cost);
+        self.busy_until = self.busy_until.max(finish);
         self.stats.host_flushes += 1;
         self.last_io_end = self.last_io_end.max(finish);
-        Ok(Completion { start, finish })
+        let completion = Completion { start, finish };
+        self.stats.flush_lat.record(completion.response(now));
+        Ok(completion)
     }
 
     fn stats(&self) -> &DeviceStats {

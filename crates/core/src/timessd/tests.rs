@@ -217,6 +217,104 @@ fn batched_trim_is_volatile_until_flush_barrier() {
 }
 
 #[test]
+fn flush_fences_in_flight_writes_and_charges_costs() {
+    // Regression (flush-path timing): an fsync issued at a write's arrival
+    // instant must not complete before the write it fences, and it charges
+    // the per-page + per-barrier controller costs on top of the flash
+    // program.
+    let mut ssd = TimeSsd::new(medium_cfg());
+    let w = ssd.write(Lpa(0), synthetic(0, 1), 0).unwrap();
+    assert!(w.finish > 0);
+    ssd.trim(Lpa(0), w.finish).unwrap(); // buffers a tombstone
+    let f = ssd.flush(0).unwrap();
+    assert!(
+        f.finish >= w.finish,
+        "fsync acked at {} before the write it fences ({})",
+        f.finish,
+        w.finish
+    );
+    assert_eq!(ssd.buffered_delta_pages(), 0);
+    assert_eq!(ssd.stats().host_flushes, 1);
+    assert_eq!(ssd.stats().flush_pages, 1);
+    assert_eq!(ssd.stats().flush_lat.count, 1);
+
+    // A/B: the same sequence with a zero-cost barrier finishes strictly
+    // earlier — the knobs really are in the latency path.
+    let mut free = TimeSsd::new(medium_cfg().with_flush_costs(0, 0));
+    let wf = free.write(Lpa(0), synthetic(0, 1), 0).unwrap();
+    free.trim(Lpa(0), wf.finish).unwrap();
+    let ff = free.flush(0).unwrap();
+    assert!(
+        f.finish > ff.finish,
+        "costed barrier {} must outlast the zero-cost barrier {}",
+        f.finish,
+        ff.finish
+    );
+    // The fence (`last_io_end`) can absorb part of the page cost when the
+    // delta program lands on an idle chip, but the fixed barrier overhead
+    // is always visible on top.
+    assert!(f.finish - ff.finish >= ssd.config().flush_barrier_cost);
+}
+
+#[test]
+fn failed_barrier_still_advances_busy_until() {
+    // Regression (partial-work accounting): a mid-loop program fault used
+    // to discard the time and programs already spent on earlier filters.
+    use almanac_flash::FaultPlan;
+    let mut cfg = medium_cfg();
+    let mut probe = TimeSsd::new(cfg.clone());
+    // Dirty two separate filter buffers via trims in distinct time segments
+    // (each write+trim pair ages the chain enough to rotate filters).
+    let mut now = SEC_NS;
+    for (i, lpa) in [3u64, 5].into_iter().enumerate() {
+        let c = probe
+            .write(Lpa(lpa), synthetic(lpa, i as u64 + 1), now)
+            .unwrap();
+        let t = probe.trim(Lpa(lpa), c.finish + DAY_NS).unwrap();
+        now = t.finish + DAY_NS;
+    }
+    let dirty = probe.buffered_delta_pages();
+    if dirty < 2 {
+        // Both tombstones coalesced into one buffer; the partial-work path
+        // needs at least two, so widen via the deltas-level regression test
+        // (`failed_barrier_still_charges_partial_work`) instead.
+        return;
+    }
+    // Re-run the same script against a device whose (dirty+1)-th program —
+    // the SECOND barrier flush — faults.
+    let total_programs = probe.flash().stats().programs;
+    cfg = cfg.with_fault_plan(FaultPlan::new(1).with_program_fault(total_programs + 1));
+    let mut ssd = TimeSsd::new(cfg);
+    let mut now = SEC_NS;
+    for (i, lpa) in [3u64, 5].into_iter().enumerate() {
+        let c = ssd
+            .write(Lpa(lpa), synthetic(lpa, i as u64 + 1), now)
+            .unwrap();
+        let t = ssd.trim(Lpa(lpa), c.finish + DAY_NS).unwrap();
+        now = t.finish + DAY_NS;
+    }
+    let before = ssd.busy_until;
+    let programs_before = ssd.stats().delta_programs;
+    assert!(
+        ssd.flush(now).is_err(),
+        "injected fault must fail the barrier"
+    );
+    assert_eq!(
+        ssd.stats().delta_programs,
+        programs_before + 1,
+        "the first buffer's program must be charged"
+    );
+    assert!(
+        ssd.busy_until > before,
+        "busy_until must advance for the partial work"
+    );
+    assert_eq!(ssd.buffered_delta_pages(), 1, "faulted buffer survives");
+    // The retry completes the barrier.
+    ssd.flush(now + SEC_NS).unwrap();
+    assert_eq!(ssd.buffered_delta_pages(), 0);
+}
+
+#[test]
 fn trimmed_data_stays_recoverable() {
     let mut ssd = TimeSsd::new(small_cfg());
     let secret = PageData::bytes(b"do not lose me".to_vec());

@@ -111,7 +111,13 @@ impl NvmeController {
         let page_size = self.ssd.geometry().page_size as usize;
         match e.opcode {
             NvmeOpcode::Flush => match self.ssd.flush(now) {
-                Ok(_) => Self::complete(e.cid, NvmeStatus::Success, 0),
+                // The result carries the barrier's response time in
+                // microseconds (saturating), so the host sees what the
+                // fence actually cost.
+                Ok(c) => {
+                    let lat_us = (c.response(now) / 1_000).min(u32::MAX as u64) as u32;
+                    Self::complete(e.cid, NvmeStatus::Success, lat_us)
+                }
                 Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
             },
             NvmeOpcode::Write => {

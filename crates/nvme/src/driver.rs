@@ -178,11 +178,13 @@ impl HostDriver {
         Ok(restored)
     }
 
-    /// Flush (drains TimeSSD's delta buffers to flash).
-    pub fn flush(&mut self, now: Nanos) -> DriverResult<()> {
+    /// Flush (drains TimeSSD's delta buffers to flash). Returns the
+    /// barrier's response time in microseconds, as reported by the
+    /// controller in the completion result.
+    pub fn flush(&mut self, now: Nanos) -> DriverResult<u32> {
         let e = SubmissionEntry::new(NvmeOpcode::Flush, 0);
-        self.issue(e, now)?;
-        Ok(())
+        let (lat_us, _) = self.issue(e, now)?;
+        Ok(lat_us)
     }
 }
 
@@ -244,6 +246,25 @@ mod tests {
         d.trim(Lpa(3), 1, 2 * SEC_NS).unwrap();
         let page = d.read(Lpa(3), 3 * SEC_NS).unwrap();
         assert!(page.iter().all(|b| *b == 0));
-        d.flush(4 * SEC_NS).unwrap();
+        let lat_us = d.flush(4 * SEC_NS).unwrap();
+        // The default barrier overhead alone is 20 µs; a barrier fencing a
+        // journalled trim must report at least that.
+        assert!(lat_us >= 20, "flush reported {lat_us} µs");
+    }
+
+    #[test]
+    fn flush_latency_reflects_pending_work() {
+        let mut d = driver();
+        // An idle barrier pays only the fixed overhead; one fencing fresh
+        // writes and a journalled trim also pays the fence to their
+        // completion, so it must report at least as much.
+        let idle_us = d.flush(SEC_NS).unwrap();
+        d.write(Lpa(1), b"a".to_vec(), 2 * SEC_NS).unwrap();
+        d.trim(Lpa(1), 1, 2 * SEC_NS).unwrap();
+        let busy_us = d.flush(2 * SEC_NS).unwrap();
+        assert!(
+            busy_us >= idle_us,
+            "busy barrier {busy_us} µs < idle barrier {idle_us} µs"
+        );
     }
 }

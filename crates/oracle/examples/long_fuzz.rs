@@ -10,6 +10,9 @@
 //! - `LONG_FUZZ_CASES` — cases per suite (default 32).
 //! - `LONG_FUZZ_BARRIERS` — `0` drops the flush-barrier suites (`barrier`,
 //!   `barcut`) from the sweep; any other value (default) keeps them.
+//! - `LONG_FUZZ_AGING` — `0` drops the tombstone-aging suite (`aging`,
+//!   rarely-trimming traffic under a short `tombstone_flush_deadline`);
+//!   any other value (default) keeps it.
 //! - `LONG_FUZZ_REPORT` — where to write the failure report consumed by the
 //!   CI artifact upload (default `long_fuzz_failure.txt`).
 //!
@@ -18,7 +21,7 @@
 //! report names everything needed to replay the case locally.
 
 use almanac_core::SsdConfig;
-use almanac_flash::{Geometry, SEC_NS};
+use almanac_flash::{Geometry, MS_NS, SEC_NS};
 use almanac_oracle::{strategy, DifferentialHarness};
 use proptest::{Strategy, TestRng};
 
@@ -61,6 +64,7 @@ fn main() {
     let report_path =
         std::env::var("LONG_FUZZ_REPORT").unwrap_or_else(|_| "long_fuzz_failure.txt".into());
     let barriers = std::env::var("LONG_FUZZ_BARRIERS").map_or(true, |v| v != "0");
+    let aging = std::env::var("LONG_FUZZ_AGING").map_or(true, |v| v != "0");
     // The seed rotates the RNG stream by salting the case path, so every
     // nightly run walks a fresh deterministic slice of the input space.
     let salt = format!("long_fuzz/{seed}");
@@ -119,6 +123,16 @@ fn main() {
                 "barcut",
                 strategy::barrier_before_cut(16, 400),
                 SsdConfig::new(Geometry::medium_test()),
+            ));
+        }
+        if aging {
+            // Rarely-trimming traffic with no barriers under a short
+            // deadline: only the age-based group flush closes tombstone
+            // windows, and every Check audits the pending-age bound.
+            suites.push((
+                "aging",
+                strategy::rare_trim_aging(16, 400),
+                SsdConfig::new(Geometry::medium_test()).with_tombstone_flush_deadline(2 * MS_NS),
             ));
         }
         for (name, strat, cfg) in suites {

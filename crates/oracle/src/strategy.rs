@@ -221,6 +221,26 @@ pub fn barrier_before_cut(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp
         .boxed()
 }
 
+/// Write-dominated traffic with sparse trims, long inter-arrival gaps, and
+/// no host flush barriers: only the age-based group-flush scheduler ever
+/// closes a tombstone's volatile window. Pair with a short
+/// `tombstone_flush_deadline` (a few ms) so aging fires inside a run; the
+/// periodic `Check` ops run the device's pending-tombstone age audit at
+/// every quiescent point, failing the run if any acknowledged trim stayed
+/// volatile past the deadline.
+pub fn rare_trim_aging(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {
+    let op = prop_oneof![
+        8 => (hot_cold_lpa(domain), small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Write { lpa, gap }),
+        1 => (0u64..domain, (1u64..10 * MS_NS))
+            .prop_map(|(lpa, gap)| OracleOp::Trim { lpa, gap }),
+        2 => (hot_cold_lpa(domain), small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Read { lpa, gap }),
+        2 => Just(OracleOp::Check),
+    ];
+    collection::vec(op, ops).boxed()
+}
+
 /// GC-pressure traffic paired with a single-op fault schedule: one read,
 /// one program, and one erase fail somewhere mid-stream — often inside
 /// `migrate_valid`, a delta flush, or a victim erase rather than at the

@@ -25,6 +25,12 @@ fn pressure_cfg() -> SsdConfig {
         .with_bloom(almanac_bloom_cfg())
 }
 
+/// Short tombstone deadline so the age-based group flush fires within a
+/// few milliseconds of virtual time instead of the 500 ms default.
+fn aging_cfg() -> SsdConfig {
+    medium_cfg().with_tombstone_flush_deadline(2 * MS_NS)
+}
+
 fn almanac_bloom_cfg() -> almanac_bloom::ChainConfig {
     almanac_bloom::ChainConfig {
         bits_per_filter: 1 << 12,
@@ -106,6 +112,105 @@ proptest! {
             "barrier-before-cut runs must not waive any version"
         );
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Rarely-trimming traffic with no barriers: every `Check` op runs the
+    /// device's pending-tombstone age audit, so a clean run proves no
+    /// acknowledged trim stayed volatile past `tombstone_flush_deadline`
+    /// at any quiescent point.
+    #[test]
+    fn aged_tombstones_never_outlive_deadline(
+        ops in almanac_oracle::strategy::rare_trim_aging(16, 160)
+    ) {
+        let mut h = DifferentialHarness::new(aging_cfg());
+        let report = h.run(&ops);
+        proptest::prop_assert!(report.is_clean(), "{report}");
+    }
+
+    /// A/B lockstep: the same op stream with aging on and off must leave
+    /// identical host-visible state — aging is pure maintenance.
+    #[test]
+    fn aging_flushes_leave_host_state_unchanged(
+        ops in almanac_oracle::strategy::rare_trim_aging(16, 160)
+    ) {
+        let mut aged = DifferentialHarness::new(aging_cfg());
+        let mut plain = DifferentialHarness::new(medium_cfg().with_tombstone_flush_deadline(0));
+        let ra = aged.run(&ops);
+        let rb = plain.run(&ops);
+        proptest::prop_assert!(ra.is_clean(), "{ra}");
+        proptest::prop_assert!(rb.is_clean(), "{rb}");
+        for p in 0..16u64 {
+            let lpa = Lpa(p);
+            proptest::prop_assert_eq!(aged.ssd().is_mapped(lpa), plain.ssd().is_mapped(lpa));
+            proptest::prop_assert_eq!(aged.ssd().trimmed_at(lpa), plain.ssd().trimmed_at(lpa));
+            let head_a = aged.ssd().version_chain(lpa).first().map(|v| v.timestamp);
+            let head_b = plain.ssd().version_chain(lpa).first().map(|v| v.timestamp);
+            proptest::prop_assert_eq!(head_a, head_b, "head differs on lpa {}", p);
+        }
+    }
+}
+
+/// Deterministic witness that the aging path actually fires: a trim
+/// followed by barrier-free traffic past the deadline must be flushed by
+/// the scheduler (aging stat advances, nothing pending), while the
+/// zero-deadline device keeps the tombstone volatile — and both present
+/// the same host-visible state throughout.
+#[test]
+fn aging_flush_fires_and_is_invisible_to_the_host() {
+    let mut aged = DifferentialHarness::new(aging_cfg());
+    let mut plain = DifferentialHarness::new(medium_cfg().with_tombstone_flush_deadline(0));
+    let mut ops: Vec<OracleOp> = Vec::new();
+    for i in 0..6u64 {
+        ops.push(OracleOp::Write {
+            lpa: i % 3,
+            gap: MS_NS,
+        });
+    }
+    ops.push(OracleOp::Trim { lpa: 1, gap: MS_NS });
+    // Barrier-free traffic carries virtual time well past the 2 ms
+    // deadline; only the age-based scheduler can close the window.
+    for i in 0..8u64 {
+        ops.push(OracleOp::Write {
+            lpa: 2 + i % 2,
+            gap: MS_NS,
+        });
+        ops.push(OracleOp::Check);
+    }
+    for op in &ops {
+        aged.apply(op);
+        plain.apply(op);
+    }
+    assert!(
+        aged.check_now(),
+        "aged run diverged: {:?}",
+        aged.divergences()
+    );
+    assert!(
+        plain.check_now(),
+        "plain run diverged: {:?}",
+        plain.divergences()
+    );
+    assert!(
+        aged.ssd().stats().aging_flushes > 0,
+        "age-based flush never fired despite traffic past the deadline"
+    );
+    assert_eq!(
+        plain.ssd().stats().aging_flushes,
+        0,
+        "deadline 0 must disable the scheduler"
+    );
+    for p in 0..3u64 {
+        let lpa = Lpa(p);
+        assert_eq!(aged.ssd().is_mapped(lpa), plain.ssd().is_mapped(lpa));
+        assert_eq!(aged.ssd().trimmed_at(lpa), plain.ssd().trimmed_at(lpa));
+    }
+    assert_eq!(
+        aged.ssd().trimmed_at(Lpa(1)),
+        plain.ssd().trimmed_at(Lpa(1))
+    );
 }
 
 /// A scheduled FaultPlan power cut fires mid-stream (from PR 1's fault

@@ -27,6 +27,12 @@ pub struct ReplayReport {
     pub max_response_ns: Nanos,
     /// 99th-percentile write response estimate, ns.
     pub p99_write_ns: Nanos,
+    /// Host flush barriers completed.
+    pub host_flushes: u64,
+    /// Average flush-barrier response time, ns.
+    pub avg_flush_ns: f64,
+    /// 99th-percentile flush-barrier response estimate, ns.
+    pub p99_flush_ns: Nanos,
     /// Write amplification.
     pub write_amplification: f64,
     /// Virtual time of the last completion.
@@ -107,6 +113,9 @@ pub fn replay_with_sampler<D: SsdDevice>(
         avg_read_ns: stats.read_lat.avg_ns(),
         max_response_ns: stats.read_lat.max_ns.max(stats.write_lat.max_ns),
         p99_write_ns: stats.write_lat.p99_ns(),
+        host_flushes: stats.host_flushes,
+        avg_flush_ns: stats.flush_lat.avg_ns(),
+        p99_flush_ns: stats.flush_lat.p99_ns(),
         write_amplification: stats.write_amplification(),
         end_time,
         stalled,
@@ -196,6 +205,10 @@ mod tests {
         let r = replay(&t, &mut ssd).unwrap();
         assert_eq!(r.replayed, 2);
         assert_eq!(ssd.stats().host_flushes, 1);
+        assert_eq!(r.host_flushes, 1);
+        // The barrier cost model charges at least the fixed overhead.
+        assert!(r.avg_flush_ns > 0.0);
+        assert!(r.p99_flush_ns > 0);
     }
 
     #[test]
