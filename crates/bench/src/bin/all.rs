@@ -5,7 +5,9 @@
 
 use almanac_bench::engine::timed;
 use almanac_bench::report::{BenchReport, FigureRecord};
-use almanac_bench::{barrierlat, fast_mode, fig10, fig11, fig6_7, fig8, fig9, table3, trimwa};
+use almanac_bench::{
+    barrierlat, fast_mode, fig10, fig11, fig6_7, fig8, fig9, qdscale, table3, trimwa,
+};
 use almanac_workloads::{fiu_profiles, msr_profiles};
 
 const SEED: u64 = 42;
@@ -101,6 +103,17 @@ fn main() {
     });
     report.push_figure(FigureRecord {
         name: "barrierlat".into(),
+        wall_ms: t.wall_ms,
+        cells: t.value,
+    });
+
+    let t = timed(|| {
+        let rows = qdscale::run(SEED);
+        qdscale::print(&rows);
+        qdscale::cells(&rows)
+    });
+    report.push_figure(FigureRecord {
+        name: "qdscale".into(),
         wall_ms: t.wall_ms,
         cells: t.value,
     });

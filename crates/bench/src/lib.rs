@@ -31,6 +31,7 @@ pub mod fig11;
 pub mod fig6_7;
 pub mod fig8;
 pub mod fig9;
+pub mod qdscale;
 pub mod report;
 pub mod table3;
 pub mod trimwa;

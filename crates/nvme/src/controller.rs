@@ -1,14 +1,31 @@
 //! The simulated NVMe controller: fetches submission entries, interprets
 //! them (including the TimeKits vendor commands), executes them against the
 //! TimeSSD firmware, and posts completion entries.
+//!
+//! The controller owns N submission/completion queue pairs (queue 0 exists
+//! from construction; more are created through the admin-style
+//! [`NvmeController::create_io_queue`]). An arbitration loop round-robins
+//! across submission queues *starting* commands, but each completion entry
+//! is posted only once its device-side finish time has passed — so
+//! completions surface out of submission order, and [`NvmeController::process`]
+//! is incremental: call it with advancing `now` and it starts what it can
+//! and posts what is due.
+//!
+//! A Flush is a per-queue fence: it is not started until every earlier
+//! command on its queue has completed, and no later command on that queue
+//! starts until the Flush's completion posts.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use almanac_core::{AlmanacError, SsdDevice, TimeSsd};
 use almanac_flash::{Lpa, Nanos, PageData};
 use almanac_kits::TimeKits;
 
+use crate::queue::{InFlight, QueuePair};
 use crate::sqe::{CompletionEntry, NvmeOpcode, SubmissionEntry};
+
+/// Depth of the I/O queue pair the controller creates at construction.
+pub const DEFAULT_QUEUE_DEPTH: usize = 32;
 
 /// NVMe status codes used by the controller (generic command status set,
 /// plus a vendor code for the §3.4 stall).
@@ -30,25 +47,34 @@ pub enum NvmeStatus {
     NoSuchVersion = 0x01C1,
 }
 
-/// The controller: one submission queue, one completion queue, and a host
-/// buffer table standing in for PRP lists.
+/// The controller: N submission/completion queue pairs and a host buffer
+/// table standing in for PRP lists.
 pub struct NvmeController {
     ssd: TimeSsd,
-    sq: VecDeque<SubmissionEntry>,
-    cq: VecDeque<CompletionEntry>,
+    queues: Vec<QueuePair>,
     buffers: HashMap<u32, Vec<Vec<u8>>>,
     next_buffer: u32,
+    /// Round-robin arbitration cursor.
+    rr_next: usize,
+    /// Global start-order counter.
+    start_seq: u64,
+    /// Completions posted while an earlier-submitted command on the same
+    /// queue was still in flight.
+    ooo_completions: u64,
 }
 
 impl NvmeController {
-    /// Creates a controller over a TimeSSD.
+    /// Creates a controller over a TimeSSD with one I/O queue pair (id 0,
+    /// depth [`DEFAULT_QUEUE_DEPTH`]).
     pub fn new(ssd: TimeSsd) -> Self {
         NvmeController {
             ssd,
-            sq: VecDeque::new(),
-            cq: VecDeque::new(),
+            queues: vec![QueuePair::new(DEFAULT_QUEUE_DEPTH)],
             buffers: HashMap::new(),
             next_buffer: 1,
+            rr_next: 0,
+            start_seq: 0,
+            ooo_completions: 0,
         }
     }
 
@@ -56,6 +82,35 @@ impl NvmeController {
     /// the queues).
     pub fn ssd(&self) -> &TimeSsd {
         &self.ssd
+    }
+
+    /// Admin-style queue creation: a new submission/completion queue pair
+    /// with its own `depth` (clamped to ≥ 1). Returns its queue id.
+    pub fn create_io_queue(&mut self, depth: usize) -> u16 {
+        self.queues.push(QueuePair::new(depth));
+        (self.queues.len() - 1) as u16
+    }
+
+    /// Number of queue pairs (including queue 0).
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Depth of queue `qid`, or `None` for an unknown queue.
+    pub fn queue_depth(&self, qid: u16) -> Option<usize> {
+        self.queues.get(qid as usize).map(|q| q.depth)
+    }
+
+    /// True when queue `qid` can accept one more submission (outstanding
+    /// commands below its depth).
+    pub fn has_slot(&self, qid: u16) -> bool {
+        self.queues.get(qid as usize).is_some_and(|q| q.has_slot())
+    }
+
+    /// Commands outstanding (submitted, completion not yet posted) on
+    /// queue `qid`.
+    pub fn outstanding(&self, qid: u16) -> usize {
+        self.queues.get(qid as usize).map_or(0, |q| q.outstanding())
     }
 
     /// Registers a host data buffer (one `Vec<u8>` per page), returning its
@@ -72,22 +127,140 @@ impl NvmeController {
         self.buffers.remove(&id)
     }
 
-    /// Rings the doorbell: queues one submission entry.
+    /// Host buffers currently registered (leak diagnostics).
+    pub fn registered_buffers(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Rings the doorbell on queue 0: queues one submission entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if queue 0 is full; depth-aware hosts use
+    /// [`NvmeController::submit_to`].
     pub fn submit(&mut self, entry: SubmissionEntry) {
-        self.sq.push_back(entry);
+        assert!(
+            self.submit_to(0, entry),
+            "queue 0 full at depth {}",
+            self.queues[0].depth
+        );
     }
 
-    /// Pops the next completion, if any.
-    pub fn pop_completion(&mut self) -> Option<CompletionEntry> {
-        self.cq.pop_front()
-    }
-
-    /// Processes every queued command at virtual time `now`.
-    pub fn process(&mut self, now: Nanos) {
-        while let Some(entry) = self.sq.pop_front() {
-            let completion = self.execute(entry, now);
-            self.cq.push_back(completion);
+    /// Rings the doorbell on queue `qid`. Returns `false` (rejecting the
+    /// entry) when the queue does not exist or is at its depth.
+    pub fn submit_to(&mut self, qid: u16, entry: SubmissionEntry) -> bool {
+        let Some(q) = self.queues.get_mut(qid as usize) else {
+            return false;
+        };
+        if !q.has_slot() {
+            return false;
         }
+        q.sq.push_back(entry);
+        true
+    }
+
+    /// Pops the next completion from queue 0, if any.
+    pub fn pop_completion(&mut self) -> Option<CompletionEntry> {
+        self.pop_completion_from(0)
+    }
+
+    /// Pops the next completion from queue `qid`, if any.
+    pub fn pop_completion_from(&mut self, qid: u16) -> Option<CompletionEntry> {
+        self.pop_completion_timed(qid).map(|(cqe, _)| cqe)
+    }
+
+    /// Pops the next completion from queue `qid` along with the device
+    /// finish time it was posted at (the 16-byte wire CQE cannot carry it).
+    pub fn pop_completion_timed(&mut self, qid: u16) -> Option<(CompletionEntry, Nanos)> {
+        self.queues.get_mut(qid as usize)?.cq.pop_front()
+    }
+
+    /// Earliest pending completion instant across every queue — the next
+    /// virtual time at which [`NvmeController::process`] will post a CQE.
+    /// `None` when nothing is in flight.
+    pub fn next_completion_at(&self) -> Option<Nanos> {
+        self.queues.iter().filter_map(|q| q.next_finish()).min()
+    }
+
+    /// Completions that overtook an earlier-submitted command on their own
+    /// queue, cumulatively.
+    pub fn ooo_completions(&self) -> u64 {
+        self.ooo_completions
+    }
+
+    /// One controller step at virtual time `now`: posts every completion
+    /// whose device finish time has passed, then arbitrates round-robin
+    /// across submission queues starting every startable command (depth
+    /// permitting, flush fences respected), then posts anything that became
+    /// due. Incremental — call again with a later `now` to post the rest;
+    /// [`NvmeController::next_completion_at`] names the next useful instant.
+    pub fn process(&mut self, now: Nanos) {
+        self.post_due(now);
+        loop {
+            let mut started = false;
+            let n = self.queues.len();
+            for k in 0..n {
+                let qid = (self.rr_next + k) % n;
+                if self.try_start(qid, now) {
+                    started = true;
+                }
+            }
+            self.rr_next = (self.rr_next + 1) % n;
+            if !started {
+                break;
+            }
+        }
+        self.post_due(now);
+    }
+
+    /// Runs the controller until nothing is queued or in flight, advancing
+    /// virtual time to each pending completion; returns the virtual time
+    /// the last completion posted at (`now` if there was nothing to do).
+    /// The synchronous path for hosts that do not poll.
+    pub fn run_to_completion(&mut self, now: Nanos) -> Nanos {
+        let mut t = now;
+        self.process(t);
+        while let Some(next) = self.next_completion_at() {
+            t = t.max(next);
+            self.process(t);
+        }
+        t
+    }
+
+    fn post_due(&mut self, now: Nanos) {
+        for q in &mut self.queues {
+            self.ooo_completions += q.post_due(now);
+        }
+    }
+
+    /// Starts the head-of-queue command on `qid` if arbitration allows:
+    /// the queue must be non-empty, not fenced by an in-flight Flush, and
+    /// a Flush at the head waits for the queue's in-flight set to drain.
+    fn try_start(&mut self, qid: usize, now: Nanos) -> bool {
+        let q = &self.queues[qid];
+        let Some(head) = q.sq.front() else {
+            return false;
+        };
+        // A started Flush fences everything submitted behind it.
+        if q.flush_in_flight() {
+            return false;
+        }
+        // A Flush fences everything submitted before it: all earlier
+        // commands on this queue must have completed before it starts.
+        if head.opcode == NvmeOpcode::Flush && !q.inflight.is_empty() {
+            return false;
+        }
+        let entry = self.queues[qid].sq.pop_front().expect("head checked");
+        let opcode = entry.opcode;
+        let (cqe, finish) = self.execute(entry, now);
+        self.start_seq += 1;
+        self.queues[qid].inflight.push(InFlight {
+            finish,
+            seq: self.start_seq,
+            opcode,
+            cqe,
+        });
+        true
     }
 
     fn status_of(err: &AlmanacError) -> NvmeStatus {
@@ -107,7 +280,10 @@ impl NvmeController {
         }
     }
 
-    fn execute(&mut self, e: SubmissionEntry, now: Nanos) -> CompletionEntry {
+    /// Executes one command at virtual time `now`, returning its completion
+    /// entry and the device-side finish instant its CQE may post at.
+    /// Errors complete immediately (`now`).
+    fn execute(&mut self, e: SubmissionEntry, now: Nanos) -> (CompletionEntry, Nanos) {
         let page_size = self.ssd.geometry().page_size as usize;
         match e.opcode {
             NvmeOpcode::Flush => match self.ssd.flush(now) {
@@ -116,63 +292,87 @@ impl NvmeController {
                 // fence actually cost.
                 Ok(c) => {
                     let lat_us = (c.response(now) / 1_000).min(u32::MAX as u64) as u32;
-                    Self::complete(e.cid, NvmeStatus::Success, lat_us)
+                    (Self::complete(e.cid, NvmeStatus::Success, lat_us), c.finish)
                 }
-                Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
+                Err(err) => (Self::complete(e.cid, Self::status_of(&err), 0), now),
             },
             NvmeOpcode::Write => {
                 let lpa = e.get_u64(0);
                 let count = e.cdw[2] as u64;
                 let Some(pages) = self.buffers.get(&e.buffer).cloned() else {
-                    return Self::complete(e.cid, NvmeStatus::InvalidField, 0);
+                    return (Self::complete(e.cid, NvmeStatus::InvalidField, 0), now);
                 };
                 if pages.len() < count as usize {
-                    return Self::complete(e.cid, NvmeStatus::InvalidField, 0);
+                    return (Self::complete(e.cid, NvmeStatus::InvalidField, 0), now);
                 }
                 let mut done = 0u32;
+                let mut finish = now;
                 for i in 0..count {
                     let data = PageData::bytes(pages[i as usize].clone());
                     match self.ssd.write(Lpa(lpa + i), data, now) {
-                        Ok(_) => done += 1,
-                        Err(err) => return Self::complete(e.cid, Self::status_of(&err), done),
+                        Ok(c) => {
+                            done += 1;
+                            finish = finish.max(c.finish);
+                        }
+                        Err(err) => {
+                            return (Self::complete(e.cid, Self::status_of(&err), done), finish)
+                        }
                     }
                 }
-                Self::complete(e.cid, NvmeStatus::Success, done)
+                (Self::complete(e.cid, NvmeStatus::Success, done), finish)
             }
             NvmeOpcode::Read => {
                 let lpa = e.get_u64(0);
                 let count = e.cdw[2] as u64;
                 let mut pages = Vec::with_capacity(count as usize);
+                let mut finish = now;
                 for i in 0..count {
                     match self.ssd.read(Lpa(lpa + i), now) {
-                        Ok((data, _)) => pages.push(data.materialize(page_size)),
-                        Err(err) => return Self::complete(e.cid, Self::status_of(&err), 0),
+                        Ok((data, c)) => {
+                            pages.push(data.materialize(page_size));
+                            finish = finish.max(c.finish);
+                        }
+                        Err(err) => return (Self::complete(e.cid, Self::status_of(&err), 0), now),
                     }
                 }
                 self.buffers.insert(e.buffer, pages);
-                Self::complete(e.cid, NvmeStatus::Success, count as u32)
+                (
+                    Self::complete(e.cid, NvmeStatus::Success, count as u32),
+                    finish,
+                )
             }
             NvmeOpcode::DatasetMgmt => {
                 let lpa = e.get_u64(0);
                 let count = e.cdw[2] as u64;
+                let mut finish = now;
                 for i in 0..count {
-                    if let Err(err) = self.ssd.trim(Lpa(lpa + i), now) {
-                        return Self::complete(e.cid, Self::status_of(&err), 0);
+                    match self.ssd.trim(Lpa(lpa + i), now) {
+                        Ok(c) => finish = finish.max(c.finish),
+                        Err(err) => {
+                            return (Self::complete(e.cid, Self::status_of(&err), 0), finish)
+                        }
                     }
                 }
-                Self::complete(e.cid, NvmeStatus::Success, count as u32)
+                (
+                    Self::complete(e.cid, NvmeStatus::Success, count as u32),
+                    finish,
+                )
             }
             NvmeOpcode::AddrQuery => {
                 let (lpa, cnt, t) = (e.get_u64(0), e.cdw[2] as u64, e.get_u64(4));
                 let kits = TimeKits::new(&mut self.ssd);
+                let threads = kits.threads();
                 match kits.addr_query(Lpa(lpa), cnt, t) {
-                    Ok((hits, _)) => {
+                    Ok((hits, cost)) => {
                         let pages = hits.iter().map(|h| h.data.materialize(page_size)).collect();
                         let n = hits.len() as u32;
                         self.buffers.insert(e.buffer, pages);
-                        Self::complete(e.cid, NvmeStatus::Success, n)
+                        (
+                            Self::complete(e.cid, NvmeStatus::Success, n),
+                            now.saturating_add(cost.makespan(threads)),
+                        )
                     }
-                    Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
+                    Err(err) => (Self::complete(e.cid, Self::status_of(&err), 0), now),
                 }
             }
             NvmeOpcode::AddrQueryRange => {
@@ -183,32 +383,41 @@ impl NvmeController {
                 let t1 = e.cdw[3] as u64 * 1_000_000_000;
                 let t2 = e.cdw[4] as u64 * 1_000_000_000;
                 let kits = TimeKits::new(&mut self.ssd);
+                let threads = kits.threads();
                 match kits.addr_query_range(Lpa(lpa), cnt, t1, t2) {
-                    Ok((hits, _)) => {
+                    Ok((hits, cost)) => {
                         let pages = hits.iter().map(|h| h.data.materialize(page_size)).collect();
                         let n = hits.len() as u32;
                         self.buffers.insert(e.buffer, pages);
-                        Self::complete(e.cid, NvmeStatus::Success, n)
+                        (
+                            Self::complete(e.cid, NvmeStatus::Success, n),
+                            now.saturating_add(cost.makespan(threads)),
+                        )
                     }
-                    Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
+                    Err(err) => (Self::complete(e.cid, Self::status_of(&err), 0), now),
                 }
             }
             NvmeOpcode::AddrQueryAll => {
                 let (lpa, cnt) = (e.get_u64(0), e.cdw[2] as u64);
                 let kits = TimeKits::new(&mut self.ssd);
+                let threads = kits.threads();
                 match kits.addr_query_all(Lpa(lpa), cnt) {
-                    Ok((hits, _)) => {
+                    Ok((hits, cost)) => {
                         let pages = hits.iter().map(|h| h.data.materialize(page_size)).collect();
                         let n = hits.len() as u32;
                         self.buffers.insert(e.buffer, pages);
-                        Self::complete(e.cid, NvmeStatus::Success, n)
+                        (
+                            Self::complete(e.cid, NvmeStatus::Success, n),
+                            now.saturating_add(cost.makespan(threads)),
+                        )
                     }
-                    Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
+                    Err(err) => (Self::complete(e.cid, Self::status_of(&err), 0), now),
                 }
             }
             NvmeOpcode::TimeQuery | NvmeOpcode::TimeQueryRange | NvmeOpcode::TimeQueryAll => {
                 let kits = TimeKits::new(&mut self.ssd).with_threads(4);
-                let (hits, _) = match e.opcode {
+                let threads = kits.threads();
+                let (hits, cost) = match e.opcode {
                     NvmeOpcode::TimeQuery => kits.time_query(e.get_u64(0)),
                     NvmeOpcode::TimeQueryRange => kits.time_query_range(e.get_u64(0), e.get_u64(2)),
                     _ => kits.time_query_all(),
@@ -226,26 +435,31 @@ impl NvmeController {
                     .collect();
                 let n = hits.len() as u32;
                 self.buffers.insert(e.buffer, rows);
-                Self::complete(e.cid, NvmeStatus::Success, n)
+                (
+                    Self::complete(e.cid, NvmeStatus::Success, n),
+                    now.saturating_add(cost.makespan(threads)),
+                )
             }
             NvmeOpcode::RollBack => {
                 let (lpa, cnt, t) = (e.get_u64(0), e.cdw[2] as u64, e.get_u64(4));
                 let mut kits = TimeKits::new(&mut self.ssd);
                 match kits.roll_back(Lpa(lpa), cnt, t, now) {
-                    Ok(out) => {
-                        Self::complete(e.cid, NvmeStatus::Success, out.restored.len() as u32)
-                    }
-                    Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
+                    Ok(out) => (
+                        Self::complete(e.cid, NvmeStatus::Success, out.restored.len() as u32),
+                        out.finish,
+                    ),
+                    Err(err) => (Self::complete(e.cid, Self::status_of(&err), 0), now),
                 }
             }
             NvmeOpcode::RollBackAll => {
                 let t = e.get_u64(0);
                 let mut kits = TimeKits::new(&mut self.ssd);
                 match kits.roll_back_all(t, now) {
-                    Ok(out) => {
-                        Self::complete(e.cid, NvmeStatus::Success, out.restored.len() as u32)
-                    }
-                    Err(err) => Self::complete(e.cid, Self::status_of(&err), 0),
+                    Ok(out) => (
+                        Self::complete(e.cid, NvmeStatus::Success, out.restored.len() as u32),
+                        out.finish,
+                    ),
+                    Err(err) => (Self::complete(e.cid, Self::status_of(&err), 0), now),
                 }
             }
         }
@@ -271,7 +485,7 @@ mod tests {
         w.cdw[2] = 2;
         w.buffer = buf;
         c.submit(w);
-        c.process(SEC_NS);
+        c.run_to_completion(SEC_NS);
         let cqe = c.pop_completion().unwrap();
         assert_eq!(cqe.status, NvmeStatus::Success as u16);
         assert_eq!(cqe.result, 2);
@@ -282,7 +496,7 @@ mod tests {
         r.cdw[2] = 2;
         r.buffer = rbuf;
         c.submit(r);
-        c.process(2 * SEC_NS);
+        c.run_to_completion(2 * SEC_NS);
         assert_eq!(c.pop_completion().unwrap().status, 0);
         let pages = c.take_buffer(rbuf).unwrap();
         assert!(pages[0].starts_with(b"page zero"));
@@ -298,7 +512,7 @@ mod tests {
         w.cdw[2] = 1;
         w.buffer = buf;
         c.submit(w);
-        c.process(0);
+        c.run_to_completion(0);
         assert_eq!(
             c.pop_completion().unwrap().status,
             NvmeStatus::LbaOutOfRange as u16
@@ -315,7 +529,7 @@ mod tests {
             w.cdw[2] = 1;
             w.buffer = buf;
             c.submit(w);
-            c.process(t * SEC_NS);
+            c.run_to_completion(t * SEC_NS);
             c.pop_completion().unwrap();
         }
         let qbuf = c.register_buffer(Vec::new());
@@ -325,7 +539,7 @@ mod tests {
         q.set_u64(4, 2 * SEC_NS);
         q.buffer = qbuf;
         c.submit(q);
-        c.process(10 * SEC_NS);
+        c.run_to_completion(10 * SEC_NS);
         let cqe = c.pop_completion().unwrap();
         assert_eq!(cqe.status, 0);
         assert_eq!(cqe.result, 1);
@@ -343,7 +557,7 @@ mod tests {
             w.cdw[2] = 1;
             w.buffer = buf;
             c.submit(w);
-            c.process(t * SEC_NS);
+            c.run_to_completion(t * SEC_NS);
             c.pop_completion().unwrap();
         }
         let mut rb = SubmissionEntry::new(NvmeOpcode::RollBack, 60);
@@ -351,7 +565,7 @@ mod tests {
         rb.cdw[2] = 1;
         rb.set_u64(4, 2 * SEC_NS);
         c.submit(rb);
-        c.process(10 * SEC_NS);
+        c.run_to_completion(10 * SEC_NS);
         assert_eq!(c.pop_completion().unwrap().result, 1);
 
         let rbuf = c.register_buffer(Vec::new());
@@ -360,7 +574,7 @@ mod tests {
         r.cdw[2] = 1;
         r.buffer = rbuf;
         c.submit(r);
-        c.process(20 * SEC_NS);
+        c.run_to_completion(20 * SEC_NS);
         c.pop_completion().unwrap();
         assert!(c.take_buffer(rbuf).unwrap()[0].starts_with(b"good"));
     }
@@ -374,19 +588,128 @@ mod tests {
         w.cdw[2] = 1;
         w.buffer = buf;
         c.submit(w);
-        c.process(SEC_NS);
+        c.run_to_completion(SEC_NS);
         c.pop_completion().unwrap();
 
         let qbuf = c.register_buffer(Vec::new());
         let mut q = SubmissionEntry::new(NvmeOpcode::TimeQueryAll, 2);
         q.buffer = qbuf;
         c.submit(q);
-        c.process(2 * SEC_NS);
+        c.run_to_completion(2 * SEC_NS);
         let cqe = c.pop_completion().unwrap();
         assert_eq!(cqe.result, 1);
         let rows = c.take_buffer(qbuf).unwrap();
         let lpa = u64::from_le_bytes(rows[0][0..8].try_into().unwrap());
         let n = u64::from_le_bytes(rows[0][8..16].try_into().unwrap());
         assert_eq!((lpa, n), (7, 1));
+    }
+
+    #[test]
+    fn completions_post_only_when_finish_passes() {
+        let mut c = controller();
+        let buf = c.register_buffer(vec![b"late".to_vec()]);
+        let mut w = SubmissionEntry::new(NvmeOpcode::Write, 3);
+        w.set_u64(0, 1);
+        w.cdw[2] = 1;
+        w.buffer = buf;
+        c.submit(w);
+        // The write starts at SEC_NS but its program finishes later; the
+        // CQE must not be visible until that instant passes.
+        c.process(SEC_NS);
+        assert!(c.pop_completion().is_none(), "CQE posted before finish");
+        let finish = c.next_completion_at().expect("command in flight");
+        assert!(finish > SEC_NS);
+        c.process(finish);
+        assert_eq!(c.pop_completion().unwrap().cid, 3);
+    }
+
+    #[test]
+    fn queue_creation_and_depth_limits() {
+        let mut c = controller();
+        let q = c.create_io_queue(2);
+        assert_eq!(q, 1);
+        assert_eq!(c.queue_count(), 2);
+        assert_eq!(c.queue_depth(q), Some(2));
+        let e = SubmissionEntry::new(NvmeOpcode::Flush, 1);
+        assert!(c.submit_to(q, e));
+        let mut e2 = SubmissionEntry::new(NvmeOpcode::Flush, 2);
+        e2.cid = 2;
+        assert!(c.submit_to(q, e2));
+        // Depth 2 reached: the third submission bounces.
+        let mut e3 = SubmissionEntry::new(NvmeOpcode::Flush, 3);
+        e3.cid = 3;
+        assert!(!c.submit_to(q, e3));
+        assert!(!c.submit_to(99, e3), "unknown queue must reject");
+    }
+
+    #[test]
+    fn flush_fences_its_own_queue() {
+        let mut c = controller();
+        let q = c.create_io_queue(8);
+        for cid in 1..=3u16 {
+            let buf = c.register_buffer(vec![vec![cid as u8; 8]]);
+            let mut w = SubmissionEntry::new(NvmeOpcode::Write, cid);
+            w.set_u64(0, cid as u64);
+            w.cdw[2] = 1;
+            w.buffer = buf;
+            assert!(c.submit_to(q, w));
+        }
+        assert!(c.submit_to(q, SubmissionEntry::new(NvmeOpcode::Flush, 10)));
+        let buf = c.register_buffer(vec![vec![9u8; 8]]);
+        let mut after = SubmissionEntry::new(NvmeOpcode::Write, 11);
+        after.set_u64(0, 9);
+        after.cdw[2] = 1;
+        after.buffer = buf;
+        assert!(c.submit_to(q, after));
+
+        c.run_to_completion(SEC_NS);
+        let order: Vec<u16> = std::iter::from_fn(|| c.pop_completion_from(q))
+            .map(|cqe| cqe.cid)
+            .collect();
+        assert_eq!(order.len(), 5);
+        let flush_pos = order.iter().position(|&cid| cid == 10).unwrap();
+        for cid in 1..=3u16 {
+            let pos = order.iter().position(|&c| c == cid).unwrap();
+            assert!(pos < flush_pos, "cid {cid} completed after the flush");
+        }
+        assert_eq!(
+            order.last(),
+            Some(&11),
+            "post-flush write completed before the flush"
+        );
+    }
+
+    #[test]
+    fn queues_complete_out_of_order() {
+        // A slow multi-page write on one queue and a cheap read of an
+        // unmapped page on another: the read's CQE must overtake.
+        let mut c = controller();
+        let q1 = c.create_io_queue(4);
+        let q2 = c.create_io_queue(4);
+        let pages: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 64]).collect();
+        let buf = c.register_buffer(pages);
+        let mut w = SubmissionEntry::new(NvmeOpcode::Write, 1);
+        w.set_u64(0, 0);
+        w.cdw[2] = 6;
+        w.buffer = buf;
+        assert!(c.submit_to(q1, w));
+        let rbuf = c.register_buffer(Vec::new());
+        let mut r = SubmissionEntry::new(NvmeOpcode::Read, 2);
+        r.set_u64(0, 30);
+        r.cdw[2] = 1;
+        r.buffer = rbuf;
+        assert!(c.submit_to(q2, r));
+        c.process(SEC_NS);
+        let read_done = c.next_completion_at().unwrap();
+        c.process(read_done);
+        // The read posts first even though both started at SEC_NS.
+        assert!(c.pop_completion_from(q2).is_some());
+        let write_pending = c.pop_completion_from(q1).is_none();
+        c.run_to_completion(read_done);
+        assert!(c.pop_completion_from(q1).is_some());
+        assert!(
+            write_pending,
+            "slow write completed no later than the cheap read"
+        );
     }
 }

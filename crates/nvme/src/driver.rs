@@ -1,6 +1,21 @@
 //! The host-side NVMe driver: a typed API that goes through the wire format
 //! — the layer TimeKits sits on in the paper's implementation (§4).
+//!
+//! Two styles of use:
+//!
+//! - **Synchronous** ([`HostDriver::write`], [`HostDriver::read`], ...):
+//!   one command at a time on queue 0, the device run to completion before
+//!   returning. The convenient path for tools and tests.
+//! - **Multi-slot** ([`HostDriver::submit_write`] and friends returning a
+//!   [`Ticket`], drained by [`HostDriver::poll`]): many commands in flight
+//!   across many queues, completions surfacing in device finish order.
+//!   Tickets are `(qid, cid)` pairs; the allocator never hands out a cid
+//!   that is still in flight on its queue, so tickets never collide.
+//!
+//! Host buffers are reclaimed on *every* completion path — success or
+//! error — so a failed command cannot leak its buffer registration.
 
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use almanac_flash::{Lpa, Nanos};
@@ -20,6 +35,9 @@ pub enum DriverError {
     },
     /// The completion for our command never arrived.
     Lost(NvmeOpcode),
+    /// The target queue is unknown or already holds its full depth of
+    /// outstanding commands; poll and retry.
+    QueueFull(NvmeOpcode),
 }
 
 impl fmt::Display for DriverError {
@@ -29,6 +47,7 @@ impl fmt::Display for DriverError {
                 write!(f, "{opcode:?} failed with NVMe status {code:#06x}")
             }
             DriverError::Lost(op) => write!(f, "completion lost for {op:?}"),
+            DriverError::QueueFull(op) => write!(f, "queue full rejecting {op:?}"),
         }
     }
 }
@@ -38,10 +57,60 @@ impl std::error::Error for DriverError {}
 /// Result alias.
 pub type DriverResult<T> = Result<T, DriverError>;
 
+/// Handle for an in-flight command: its queue id and command id. Unique
+/// among commands currently in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    /// Queue the command was submitted to.
+    pub qid: u16,
+    /// NVMe command identifier on that queue.
+    pub cid: u16,
+}
+
+/// A completed command harvested by [`HostDriver::poll`].
+#[derive(Debug, Clone)]
+pub struct CompletedIo {
+    /// The ticket this completion answers.
+    pub ticket: Ticket,
+    /// The completed command's opcode.
+    pub opcode: NvmeOpcode,
+    /// Raw NVMe status (0 = success).
+    pub status: u16,
+    /// Command-specific result dword.
+    pub result: u32,
+    /// Returned pages for data-bearing commands (reads, queries) that
+    /// succeeded; `None` otherwise.
+    pub data: Option<Vec<Vec<u8>>>,
+    /// Device-side finish time the completion entry posted at — response
+    /// time is `finish - submit time`.
+    pub finish: Nanos,
+}
+
+impl CompletedIo {
+    /// True when the command completed with NVMe success status.
+    pub fn is_success(&self) -> bool {
+        self.status == NvmeStatus::Success as u16
+    }
+}
+
+/// Driver-side record of one in-flight command.
+struct InflightCmd {
+    opcode: NvmeOpcode,
+    /// Registered host buffer handle (0 = none).
+    buffer: u32,
+    /// Whether a successful completion returns the buffer contents as data.
+    wants_data: bool,
+}
+
 /// The host driver.
 pub struct HostDriver {
     controller: NvmeController,
-    next_cid: u16,
+    /// Next cid to try, per queue.
+    next_cid: HashMap<u16, u16>,
+    /// Commands submitted whose completion has not been harvested.
+    inflight: HashMap<Ticket, InflightCmd>,
+    /// Harvested completions not yet returned by `poll`.
+    ready: VecDeque<CompletedIo>,
 }
 
 impl HostDriver {
@@ -49,7 +118,9 @@ impl HostDriver {
     pub fn new(controller: NvmeController) -> Self {
         HostDriver {
             controller,
-            next_cid: 1,
+            next_cid: HashMap::new(),
+            inflight: HashMap::new(),
+            ready: VecDeque::new(),
         }
     }
 
@@ -58,28 +129,195 @@ impl HostDriver {
         &self.controller
     }
 
-    fn issue(&mut self, mut entry: SubmissionEntry, now: Nanos) -> DriverResult<(u32, u32)> {
-        let cid = self.next_cid;
-        self.next_cid = self.next_cid.wrapping_add(1).max(1);
-        entry.cid = cid;
+    /// Creates a new I/O queue pair with its own depth, returning its id.
+    pub fn create_queue(&mut self, depth: usize) -> u16 {
+        self.controller.create_io_queue(depth)
+    }
+
+    /// Commands submitted and not yet harvested, across all queues.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Earliest instant at which the controller will post another
+    /// completion; `None` when nothing is pending device-side.
+    pub fn next_completion_at(&self) -> Option<Nanos> {
+        self.controller.next_completion_at()
+    }
+
+    /// Allocates a cid on `qid` that no in-flight command holds. The
+    /// caller has already checked the queue has a free slot, and queue
+    /// depths are clamped below the 16-bit cid space, so a free cid exists.
+    fn alloc_cid(&mut self, qid: u16) -> u16 {
+        let next = self.next_cid.entry(qid).or_insert(1);
+        let mut cid = *next;
+        while self.inflight.contains_key(&Ticket { qid, cid }) {
+            cid = cid.wrapping_add(1).max(1);
+        }
+        *next = cid.wrapping_add(1).max(1);
+        cid
+    }
+
+    /// Submits `entry` on `qid`, tracking its buffer for reclamation.
+    /// Rejected submissions (unknown/full queue) release the buffer
+    /// immediately.
+    fn submit_ticket(
+        &mut self,
+        qid: u16,
+        mut entry: SubmissionEntry,
+        buffer: u32,
+        wants_data: bool,
+    ) -> DriverResult<Ticket> {
         let opcode = entry.opcode;
-        let buffer = entry.buffer;
-        self.controller.submit(entry);
-        self.controller.process(now);
-        loop {
-            match self.controller.pop_completion() {
-                Some(cqe) if cqe.cid == cid => {
-                    if cqe.status == NvmeStatus::Success as u16 {
-                        return Ok((cqe.result, buffer));
-                    }
-                    return Err(DriverError::Status {
-                        code: cqe.status,
-                        opcode,
-                    });
-                }
-                Some(_) => continue,
-                None => return Err(DriverError::Lost(opcode)),
+        if !self.controller.has_slot(qid) {
+            if buffer != 0 {
+                self.controller.take_buffer(buffer);
             }
+            return Err(DriverError::QueueFull(opcode));
+        }
+        let cid = self.alloc_cid(qid);
+        entry.cid = cid;
+        let ticket = Ticket { qid, cid };
+        let accepted = self.controller.submit_to(qid, entry);
+        debug_assert!(accepted, "slot was checked");
+        self.inflight.insert(
+            ticket,
+            InflightCmd {
+                opcode,
+                buffer,
+                wants_data,
+            },
+        );
+        Ok(ticket)
+    }
+
+    /// Moves every posted completion into the ready list, reclaiming each
+    /// command's buffer whether it succeeded or failed.
+    fn harvest(&mut self) {
+        for qid in 0..self.controller.queue_count() as u16 {
+            while let Some((cqe, finish)) = self.controller.pop_completion_timed(qid) {
+                let ticket = Ticket { qid, cid: cqe.cid };
+                let Some(cmd) = self.inflight.remove(&ticket) else {
+                    continue;
+                };
+                let mut data = None;
+                if cmd.buffer != 0 {
+                    let pages = self.controller.take_buffer(cmd.buffer);
+                    if cmd.wants_data && cqe.status == NvmeStatus::Success as u16 {
+                        data = pages;
+                    }
+                }
+                self.ready.push_back(CompletedIo {
+                    ticket,
+                    opcode: cmd.opcode,
+                    status: cqe.status,
+                    result: cqe.result,
+                    data,
+                    finish,
+                });
+            }
+        }
+    }
+
+    /// Advances the controller to virtual time `now` and drains every
+    /// completion that has posted, in posting order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use almanac_core::{SsdConfig, TimeSsd};
+    /// use almanac_flash::{Geometry, Lpa, SEC_NS};
+    /// use almanac_nvme::{HostDriver, NvmeController};
+    ///
+    /// let ssd = TimeSsd::new(SsdConfig::new(Geometry::small_test()));
+    /// let mut d = HostDriver::new(NvmeController::new(ssd));
+    /// let ticket = d.submit_write(0, Lpa(1), vec![b"hi".to_vec()]).unwrap();
+    /// let mut done = d.poll(SEC_NS);
+    /// if done.is_empty() {
+    ///     // The program finishes after SEC_NS; advance to its completion.
+    ///     let at = d.next_completion_at().unwrap();
+    ///     done = d.poll(at);
+    /// }
+    /// assert_eq!(done[0].ticket, ticket);
+    /// assert!(done[0].is_success());
+    /// ```
+    pub fn poll(&mut self, now: Nanos) -> Vec<CompletedIo> {
+        self.controller.process(now);
+        self.harvest();
+        self.ready.drain(..).collect()
+    }
+
+    /// Submits a multi-page write on `qid`; completes with the number of
+    /// pages written in `result`.
+    pub fn submit_write(
+        &mut self,
+        qid: u16,
+        lpa: Lpa,
+        pages: Vec<Vec<u8>>,
+    ) -> DriverResult<Ticket> {
+        let count = pages.len() as u32;
+        let buffer = self.controller.register_buffer(pages);
+        let mut e = SubmissionEntry::new(NvmeOpcode::Write, 0);
+        e.set_u64(0, lpa.0);
+        e.cdw[2] = count;
+        e.buffer = buffer;
+        self.submit_ticket(qid, e, buffer, false)
+    }
+
+    /// Submits a multi-page read on `qid`; completes with the pages in
+    /// `data`.
+    pub fn submit_read(&mut self, qid: u16, lpa: Lpa, count: u32) -> DriverResult<Ticket> {
+        let buffer = self.controller.register_buffer(Vec::new());
+        let mut e = SubmissionEntry::new(NvmeOpcode::Read, 0);
+        e.set_u64(0, lpa.0);
+        e.cdw[2] = count;
+        e.buffer = buffer;
+        self.submit_ticket(qid, e, buffer, true)
+    }
+
+    /// Submits a trim (dataset management deallocate) on `qid`.
+    pub fn submit_trim(&mut self, qid: u16, lpa: Lpa, count: u32) -> DriverResult<Ticket> {
+        let mut e = SubmissionEntry::new(NvmeOpcode::DatasetMgmt, 0);
+        e.set_u64(0, lpa.0);
+        e.cdw[2] = count;
+        self.submit_ticket(qid, e, 0, false)
+    }
+
+    /// Submits a flush on `qid`: a fence that completes only after every
+    /// earlier command on the queue, and holds back every later one.
+    pub fn submit_flush(&mut self, qid: u16) -> DriverResult<Ticket> {
+        let e = SubmissionEntry::new(NvmeOpcode::Flush, 0);
+        self.submit_ticket(qid, e, 0, false)
+    }
+
+    /// Synchronous issue on queue 0: submits, runs the device to
+    /// completion, and returns this command's completion. Completions for
+    /// other in-flight tickets are retained for a later [`HostDriver::poll`],
+    /// never dropped.
+    fn issue(
+        &mut self,
+        entry: SubmissionEntry,
+        buffer: u32,
+        wants_data: bool,
+        now: Nanos,
+    ) -> DriverResult<CompletedIo> {
+        let opcode = entry.opcode;
+        let ticket = self.submit_ticket(0, entry, buffer, wants_data)?;
+        self.controller.run_to_completion(now);
+        self.harvest();
+        let pos = self
+            .ready
+            .iter()
+            .position(|io| io.ticket == ticket)
+            .ok_or(DriverError::Lost(opcode))?;
+        let io = self.ready.remove(pos).expect("position just found");
+        if io.is_success() {
+            Ok(io)
+        } else {
+            Err(DriverError::Status {
+                code: io.status,
+                opcode: io.opcode,
+            })
         }
     }
 
@@ -90,8 +328,7 @@ impl HostDriver {
         e.set_u64(0, lpa.0);
         e.cdw[2] = 1;
         e.buffer = buffer;
-        self.issue(e, now)?;
-        self.controller.take_buffer(buffer);
+        self.issue(e, buffer, false, now)?;
         Ok(())
     }
 
@@ -102,11 +339,11 @@ impl HostDriver {
         e.set_u64(0, lpa.0);
         e.cdw[2] = 1;
         e.buffer = buffer;
-        self.issue(e, now)?;
-        let mut pages = self
-            .controller
-            .take_buffer(buffer)
-            .ok_or(DriverError::Lost(NvmeOpcode::Read))?;
+        let io = self.issue(e, buffer, true, now)?;
+        let mut pages = io.data.ok_or(DriverError::Lost(NvmeOpcode::Read))?;
+        if pages.is_empty() {
+            return Err(DriverError::Lost(NvmeOpcode::Read));
+        }
         Ok(pages.remove(0))
     }
 
@@ -115,7 +352,7 @@ impl HostDriver {
         let mut e = SubmissionEntry::new(NvmeOpcode::DatasetMgmt, 0);
         e.set_u64(0, lpa.0);
         e.cdw[2] = count;
-        self.issue(e, now)?;
+        self.issue(e, 0, false, now)?;
         Ok(())
     }
 
@@ -133,10 +370,8 @@ impl HostDriver {
         e.cdw[2] = count;
         e.set_u64(4, t);
         e.buffer = buffer;
-        self.issue(e, now)?;
-        self.controller
-            .take_buffer(buffer)
-            .ok_or(DriverError::Lost(NvmeOpcode::AddrQuery))
+        let io = self.issue(e, buffer, true, now)?;
+        io.data.ok_or(DriverError::Lost(NvmeOpcode::AddrQuery))
     }
 
     /// `TimeQueryAll` through the wire: `(lpa, version count)` rows.
@@ -144,11 +379,8 @@ impl HostDriver {
         let buffer = self.controller.register_buffer(Vec::new());
         let mut e = SubmissionEntry::new(NvmeOpcode::TimeQueryAll, 0);
         e.buffer = buffer;
-        self.issue(e, now)?;
-        let rows = self
-            .controller
-            .take_buffer(buffer)
-            .ok_or(DriverError::Lost(NvmeOpcode::TimeQueryAll))?;
+        let io = self.issue(e, buffer, true, now)?;
+        let rows = io.data.ok_or(DriverError::Lost(NvmeOpcode::TimeQueryAll))?;
         Ok(rows
             .iter()
             .map(|r| {
@@ -166,16 +398,14 @@ impl HostDriver {
         e.set_u64(0, lpa.0);
         e.cdw[2] = count;
         e.set_u64(4, t);
-        let (restored, _) = self.issue(e, now)?;
-        Ok(restored)
+        Ok(self.issue(e, 0, false, now)?.result)
     }
 
     /// `RollBackAll` through the wire; returns the number of pages restored.
     pub fn roll_back_all(&mut self, t: Nanos, now: Nanos) -> DriverResult<u32> {
         let mut e = SubmissionEntry::new(NvmeOpcode::RollBackAll, 0);
         e.set_u64(0, t);
-        let (restored, _) = self.issue(e, now)?;
-        Ok(restored)
+        Ok(self.issue(e, 0, false, now)?.result)
     }
 
     /// Flush (drains TimeSSD's delta buffers to flash). Returns the
@@ -183,8 +413,7 @@ impl HostDriver {
     /// controller in the completion result.
     pub fn flush(&mut self, now: Nanos) -> DriverResult<u32> {
         let e = SubmissionEntry::new(NvmeOpcode::Flush, 0);
-        let (lat_us, _) = self.issue(e, now)?;
-        Ok(lat_us)
+        Ok(self.issue(e, 0, false, now)?.result)
     }
 }
 
@@ -266,5 +495,131 @@ mod tests {
             busy_us >= idle_us,
             "busy barrier {busy_us} µs < idle barrier {idle_us} µs"
         );
+    }
+
+    #[test]
+    fn failed_commands_reclaim_their_buffers() {
+        let mut d = driver();
+        assert!(d.write(Lpa(u64::MAX / 4), vec![0u8; 4], SEC_NS).is_err());
+        assert_eq!(
+            d.controller().registered_buffers(),
+            0,
+            "error write leaked its buffer"
+        );
+        assert!(d.read(Lpa(u64::MAX / 4), SEC_NS).is_err());
+        assert_eq!(
+            d.controller().registered_buffers(),
+            0,
+            "error read leaked its buffer"
+        );
+        // Success paths reclaim too.
+        d.write(Lpa(1), b"ok".to_vec(), 2 * SEC_NS).unwrap();
+        d.read(Lpa(1), 3 * SEC_NS).unwrap();
+        d.addr_query(Lpa(1), 1, 2 * SEC_NS, 4 * SEC_NS).unwrap();
+        d.time_query_all(5 * SEC_NS).unwrap();
+        assert_eq!(d.controller().registered_buffers(), 0);
+    }
+
+    #[test]
+    fn rejected_submission_reclaims_its_buffer() {
+        let mut d = driver();
+        let q = d.create_queue(1);
+        d.submit_trim(q, Lpa(0), 1).unwrap();
+        // The queue is at depth; this write must bounce without leaking.
+        let err = d.submit_write(q, Lpa(1), vec![vec![0u8; 4]]).unwrap_err();
+        assert!(matches!(err, DriverError::QueueFull(NvmeOpcode::Write)));
+        assert_eq!(d.controller().registered_buffers(), 0);
+    }
+
+    #[test]
+    fn interleaved_completions_are_not_dropped() {
+        let mut d = driver();
+        // One ticket in flight, then a synchronous read on the same queue:
+        // the sync path must hand back the read's own completion and keep
+        // the write's for a later poll instead of discarding it.
+        let ticket = d.submit_write(0, Lpa(7), vec![b"w".to_vec()]).unwrap();
+        let page = d.read(Lpa(9), SEC_NS).unwrap();
+        assert!(page.iter().all(|b| *b == 0), "unwritten page reads zero");
+        let done = d.poll(SEC_NS);
+        assert_eq!(done.len(), 1, "foreign completion was dropped");
+        assert_eq!(done[0].ticket, ticket);
+        assert!(done[0].is_success());
+        assert_eq!(d.in_flight(), 0);
+    }
+
+    #[test]
+    fn poll_returns_completions_in_finish_order() {
+        let mut d = driver();
+        let q_slow = d.create_queue(4);
+        let q_fast = d.create_queue(4);
+        // A six-page program on one queue, a cheap unmapped read on
+        // another: the read must complete first despite later submission.
+        let pages: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 32]).collect();
+        let slow = d.submit_write(q_slow, Lpa(0), pages).unwrap();
+        let fast = d.submit_read(q_fast, Lpa(40), 1).unwrap();
+        d.poll(SEC_NS);
+        let mut seen = Vec::new();
+        while seen.len() < 2 {
+            let at = d.next_completion_at().expect("commands in flight");
+            seen.extend(d.poll(at).into_iter().map(|io| io.ticket));
+        }
+        assert_eq!(seen, vec![fast, slow]);
+    }
+
+    #[test]
+    fn cid_allocation_survives_wraparound_with_outstanding_slots() {
+        let mut d = driver();
+        // Pin one long-running command in flight on queue 0: a multi-page
+        // program whose finish is far beyond the test's virtual clock.
+        let pages: Vec<Vec<u8>> = (0..16).map(|_| vec![7u8; 16]).collect();
+        let held = d.submit_write(0, Lpa(0), pages).unwrap();
+        assert!(
+            d.poll(SEC_NS).is_empty(),
+            "program completed implausibly fast"
+        );
+
+        // Drive the 16-bit cid space around twice with error reads (they
+        // complete at submission time, so the clock never advances past the
+        // held program). The allocator must never reuse the held cid.
+        let mut completed = 0u64;
+        let target = 2 * 65536 + 10;
+        while completed < target {
+            let t = d.submit_read(0, Lpa(u64::MAX / 2), 1).unwrap();
+            assert_ne!(t.cid, held.cid, "reissued an in-flight cid");
+            assert_eq!(t.qid, 0);
+            for io in d.poll(SEC_NS) {
+                assert_ne!(io.ticket, held, "held program completed early");
+                assert!(!io.is_success());
+                completed += 1;
+            }
+        }
+        assert_eq!(d.in_flight(), 1, "only the held program remains");
+        assert_eq!(d.controller().registered_buffers(), 1);
+
+        // Release the held program and confirm it completes exactly once.
+        let at = d.next_completion_at().expect("held program in flight");
+        let done = d.poll(at);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].ticket, held);
+        assert!(done[0].is_success());
+        assert_eq!(done[0].result, 16);
+        assert_eq!(d.controller().registered_buffers(), 0);
+    }
+
+    #[test]
+    fn flush_ticket_fences_prior_writes() {
+        let mut d = driver();
+        let q = d.create_queue(8);
+        let w1 = d.submit_write(q, Lpa(1), vec![b"a".to_vec()]).unwrap();
+        let w2 = d.submit_write(q, Lpa(2), vec![b"b".to_vec()]).unwrap();
+        let f = d.submit_flush(q).unwrap();
+        let mut order = Vec::new();
+        d.poll(SEC_NS);
+        while order.len() < 3 {
+            let at = d.next_completion_at().expect("commands in flight");
+            order.extend(d.poll(at).into_iter().map(|io| io.ticket));
+        }
+        assert_eq!(order.last(), Some(&f), "flush completed before its fences");
+        assert!(order.contains(&w1) && order.contains(&w2));
     }
 }

@@ -35,8 +35,9 @@
 
 mod controller;
 mod driver;
+mod queue;
 mod sqe;
 
-pub use controller::{NvmeController, NvmeStatus};
-pub use driver::{DriverError, HostDriver};
+pub use controller::{NvmeController, NvmeStatus, DEFAULT_QUEUE_DEPTH};
+pub use driver::{CompletedIo, DriverError, HostDriver, Ticket};
 pub use sqe::{CompletionEntry, NvmeOpcode, SubmissionEntry};

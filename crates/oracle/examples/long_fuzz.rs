@@ -13,6 +13,9 @@
 //! - `LONG_FUZZ_AGING` — `0` drops the tombstone-aging suite (`aging`,
 //!   rarely-trimming traffic under a short `tombstone_flush_deadline`);
 //!   any other value (default) keeps it.
+//! - `LONG_FUZZ_QUEUES` — `0` drops the multi-queue lockstep suite
+//!   (`queues`, in-order vs out-of-order completion schedules through the
+//!   NVMe controller); any other value (default) keeps it.
 //! - `LONG_FUZZ_REPORT` — where to write the failure report consumed by the
 //!   CI artifact upload (default `long_fuzz_failure.txt`).
 //!
@@ -22,7 +25,7 @@
 
 use almanac_core::SsdConfig;
 use almanac_flash::{Geometry, MS_NS, SEC_NS};
-use almanac_oracle::{strategy, DifferentialHarness};
+use almanac_oracle::{lockstep_queue_run, strategy, DifferentialHarness};
 use proptest::{Strategy, TestRng};
 
 fn cached(mut cfg: SsdConfig) -> SsdConfig {
@@ -65,6 +68,7 @@ fn main() {
         std::env::var("LONG_FUZZ_REPORT").unwrap_or_else(|_| "long_fuzz_failure.txt".into());
     let barriers = std::env::var("LONG_FUZZ_BARRIERS").map_or(true, |v| v != "0");
     let aging = std::env::var("LONG_FUZZ_AGING").map_or(true, |v| v != "0");
+    let queues = std::env::var("LONG_FUZZ_QUEUES").map_or(true, |v| v != "0");
     // The seed rotates the RNG stream by salting the case path, so every
     // nightly run walks a fresh deterministic slice of the input space.
     let salt = format!("long_fuzz/{seed}");
@@ -155,6 +159,35 @@ fn main() {
                     &format!(
                         "barrier-before-cut run waived {} version(s); expected 0\n{report}",
                         h.model().waived_versions()
+                    ),
+                );
+            }
+        }
+        // Multi-queue lockstep: the same host stream serially and through
+        // the NVMe controller with out-of-order completions; host-visible
+        // state must match and every flush must fence its queue. Queue
+        // count and depth rotate with the case so the sweep covers
+        // everything from near-serial to deep reordering.
+        if queues {
+            let ops = strategy::queued_ops(24, 350).generate(&mut rng);
+            let nqueues = 1 + (case as usize % 4);
+            let depth = [1, 4, 16, 32][(case as usize / 4) % 4];
+            let out = lockstep_queue_run(
+                SsdConfig::new(Geometry::medium_test()),
+                &ops,
+                nqueues,
+                depth,
+            );
+            total += 1;
+            if !out.passed() {
+                fail(
+                    &report_path,
+                    seed,
+                    "queues",
+                    case,
+                    &format!(
+                        "multi-queue lockstep diverged (nqueues {nqueues}, depth {depth}):\n{}",
+                        out.divergences.join("\n")
                     ),
                 );
             }

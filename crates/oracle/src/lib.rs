@@ -36,10 +36,12 @@
 
 pub mod harness;
 pub mod model;
+pub mod queues;
 pub mod report;
 pub mod strategy;
 
 pub use harness::{minimal_failing_prefix, DifferentialHarness};
 pub use model::{ModelDevice, ModelVersion};
+pub use queues::{lockstep_queue_run, QueueRunOutcome};
 pub use report::{Divergence, DivergenceReport};
 pub use strategy::OracleOp;

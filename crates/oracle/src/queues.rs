@@ -1,0 +1,358 @@
+//! In-order vs out-of-order lockstep: the same host op stream applied
+//! serially (one command at a time, completion order = submission order)
+//! and through the NVMe multi-queue controller (commands sharded across
+//! queues, completions posting in device finish order).
+//!
+//! Sharding is by logical page, so per-page command order — the order that
+//! defines host-visible state — is preserved on every queue while
+//! cross-page completions reorder freely. Any legal completion schedule
+//! must therefore leave the two devices with identical host-visible state:
+//! the same head bytes, the same mapped set, the same tombstones. The run
+//! also audits the per-queue Flush fence from the completion log: every
+//! command submitted before a flush on its queue must post before the
+//! flush's completion, and every later one after.
+
+use std::collections::HashMap;
+
+use almanac_core::{SsdConfig, SsdDevice, TimeSsd};
+use almanac_flash::{Lpa, Nanos, PageData, MS_NS};
+use almanac_nvme::{CompletedIo, DriverError, HostDriver, NvmeController, Ticket};
+
+use crate::strategy::OracleOp;
+
+/// Outcome of one in-order vs out-of-order lockstep run.
+#[derive(Debug)]
+pub struct QueueRunOutcome {
+    /// Human-readable divergences; empty means the run passed.
+    pub divergences: Vec<String>,
+    /// Completions that overtook an earlier-submitted command on their
+    /// queue during the multi-queue run.
+    pub ooo_completions: u64,
+    /// Commands completed on the multi-queue side.
+    pub completed: u64,
+    /// Flush commands submitted (each audited as a fence).
+    pub flushes: u64,
+}
+
+impl QueueRunOutcome {
+    /// True when no divergence was found.
+    pub fn passed(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Deterministic page contents for the `i`-th op of the stream: both runs
+/// write the same bytes for the same op, so head bytes are comparable
+/// however completions interleave.
+fn page_bytes(lpa: u64, i: usize) -> Vec<u8> {
+    let mut v = lpa.to_le_bytes().to_vec();
+    v.extend_from_slice(&(i as u64).to_le_bytes());
+    v
+}
+
+/// Per-queue submission/completion log for the fence audit.
+#[derive(Default)]
+struct QueueLog {
+    /// `(global op index, was this a flush)` in submission order.
+    submitted: Vec<(usize, bool)>,
+    /// Global op indices in completion-posting order.
+    completed: Vec<usize>,
+}
+
+/// Runs `ops` against a serial reference device and against the NVMe
+/// multi-queue controller (`nqueues` queues of `depth`), then compares
+/// host-visible state and audits every flush fence.
+///
+/// Only host-I/O ops participate (`Write`, `WriteBytes`, `Read`, `Trim`,
+/// `Flush`); oracle-internal ops (`Check`, `PowerCut`, probes) are skipped.
+pub fn lockstep_queue_run(
+    cfg: SsdConfig,
+    ops: &[OracleOp],
+    nqueues: usize,
+    depth: usize,
+) -> QueueRunOutcome {
+    let nqueues = nqueues.max(1);
+    let mut divergences = Vec::new();
+
+    // --- Serial reference: submission order IS completion order. ---
+    let mut serial = TimeSsd::new(cfg.clone());
+    let exported = serial.exported_pages();
+    let mut now: Nanos = MS_NS;
+    let mut touched: Vec<u64> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            OracleOp::Write { lpa, gap } | OracleOp::WriteBytes { lpa, gap, .. } => {
+                now += gap;
+                let lpa = lpa % exported;
+                touched.push(lpa);
+                let data = PageData::bytes(page_bytes(lpa, i));
+                match serial.write(Lpa(lpa), data, now) {
+                    Ok(c) => now = now.max(c.start),
+                    Err(e) => divergences.push(format!("serial write {i} failed: {e:?}")),
+                }
+            }
+            OracleOp::Read { lpa, gap } => {
+                now += gap;
+                if serial.read(Lpa(lpa % exported), now).is_err() {
+                    divergences.push(format!("serial read {i} failed"));
+                }
+            }
+            OracleOp::Trim { lpa, gap } => {
+                now += gap;
+                let lpa = lpa % exported;
+                touched.push(lpa);
+                // Trimming an unmapped page is a host no-op on the NVMe
+                // side too; ignore its error.
+                let _ = serial.trim(Lpa(lpa), now);
+            }
+            OracleOp::Flush { gap } => {
+                now += gap;
+                if let Ok(c) = serial.flush(now) {
+                    now = now.max(c.finish);
+                }
+            }
+            _ => {}
+        }
+    }
+    touched.sort_unstable();
+    touched.dedup();
+
+    // --- Multi-queue run: sharded by page, completions out of order. ---
+    let mq = TimeSsd::new(cfg);
+    let mut driver = HostDriver::new(NvmeController::new(mq));
+    let qids: Vec<u16> = (0..nqueues).map(|_| driver.create_queue(depth)).collect();
+    let mut logs: Vec<QueueLog> = (0..nqueues).map(|_| QueueLog::default()).collect();
+    let mut tickets: HashMap<Ticket, usize> = HashMap::new();
+    let mut completed = 0u64;
+    let mut flushes = 0u64;
+    let mut mq_now: Nanos = MS_NS;
+
+    let handle = |io: CompletedIo,
+                  tickets: &mut HashMap<Ticket, usize>,
+                  logs: &mut Vec<QueueLog>,
+                  divergences: &mut Vec<String>| {
+        let Some(op_idx) = tickets.remove(&io.ticket) else {
+            divergences.push(format!("unknown ticket {:?} completed", io.ticket));
+            return;
+        };
+        if !io.is_success() {
+            divergences.push(format!(
+                "mq op {op_idx} ({:?}) failed with status {:#06x}",
+                io.opcode, io.status
+            ));
+        }
+        for (slot, qid) in qids.iter().enumerate() {
+            if *qid == io.ticket.qid {
+                logs[slot].completed.push(op_idx);
+            }
+        }
+    };
+
+    for (i, op) in ops.iter().enumerate() {
+        let (slot, submission): (usize, _) = match op {
+            OracleOp::Write { lpa, gap } | OracleOp::WriteBytes { lpa, gap, .. } => {
+                mq_now += gap;
+                let lpa = lpa % exported;
+                ((lpa % nqueues as u64) as usize, Some((lpa, false, i, true)))
+            }
+            OracleOp::Read { lpa, gap } => {
+                mq_now += gap;
+                let lpa = lpa % exported;
+                (
+                    (lpa % nqueues as u64) as usize,
+                    Some((lpa, false, i, false)),
+                )
+            }
+            OracleOp::Trim { lpa, gap } => {
+                mq_now += gap;
+                let lpa = lpa % exported;
+                ((lpa % nqueues as u64) as usize, Some((lpa, true, i, false)))
+            }
+            OracleOp::Flush { gap } => {
+                mq_now += gap;
+                let slot = (flushes % nqueues as u64) as usize;
+                flushes += 1;
+                (slot, None)
+            }
+            _ => continue,
+        };
+        let qid = qids[slot];
+        loop {
+            let attempt = match (&submission, op) {
+                (None, _) => driver.submit_flush(qid),
+                (Some((lpa, true, _, _)), _) => driver.submit_trim(qid, Lpa(*lpa), 1),
+                (Some((lpa, false, idx, true)), _) => {
+                    driver.submit_write(qid, Lpa(*lpa), vec![page_bytes(*lpa, *idx)])
+                }
+                (Some((lpa, false, _, false)), _) => driver.submit_read(qid, Lpa(*lpa), 1),
+            };
+            match attempt {
+                Ok(ticket) => {
+                    tickets.insert(ticket, i);
+                    logs[slot].submitted.push((i, submission.is_none()));
+                    for io in driver.poll(mq_now) {
+                        completed += 1;
+                        handle(io, &mut tickets, &mut logs, &mut divergences);
+                    }
+                    break;
+                }
+                Err(DriverError::QueueFull(_)) => {
+                    let Some(at) = driver.next_completion_at() else {
+                        divergences.push(format!("queue {qid} wedged at op {i}"));
+                        return QueueRunOutcome {
+                            divergences,
+                            ooo_completions: driver.controller().ooo_completions(),
+                            completed,
+                            flushes,
+                        };
+                    };
+                    mq_now = mq_now.max(at);
+                    for io in driver.poll(mq_now) {
+                        completed += 1;
+                        handle(io, &mut tickets, &mut logs, &mut divergences);
+                    }
+                }
+                Err(e) => {
+                    divergences.push(format!("mq submit {i} failed: {e:?}"));
+                    break;
+                }
+            }
+        }
+    }
+    // Drain everything still outstanding.
+    while driver.in_flight() > 0 {
+        let Some(at) = driver.next_completion_at() else {
+            mq_now += 1;
+            for io in driver.poll(mq_now) {
+                completed += 1;
+                handle(io, &mut tickets, &mut logs, &mut divergences);
+            }
+            continue;
+        };
+        mq_now = mq_now.max(at);
+        for io in driver.poll(mq_now) {
+            completed += 1;
+            handle(io, &mut tickets, &mut logs, &mut divergences);
+        }
+    }
+    // --- Flush-fence audit from the per-queue logs. ---
+    for (slot, log) in logs.iter().enumerate() {
+        let post_order: HashMap<usize, usize> = log
+            .completed
+            .iter()
+            .enumerate()
+            .map(|(pos, idx)| (*idx, pos))
+            .collect();
+        for (sub_pos, (flush_idx, is_flush)) in log.submitted.iter().enumerate() {
+            if !is_flush {
+                continue;
+            }
+            let Some(flush_post) = post_order.get(flush_idx) else {
+                divergences.push(format!("flush op {flush_idx} never completed"));
+                continue;
+            };
+            for (other_pos, (other_idx, _)) in log.submitted.iter().enumerate() {
+                let Some(other_post) = post_order.get(other_idx) else {
+                    continue;
+                };
+                if other_pos < sub_pos && other_post > flush_post {
+                    divergences.push(format!(
+                        "queue {slot}: op {other_idx} submitted before flush \
+                         {flush_idx} but posted after it"
+                    ));
+                }
+                if other_pos > sub_pos && other_post < flush_post {
+                    divergences.push(format!(
+                        "queue {slot}: op {other_idx} submitted after flush \
+                         {flush_idx} but posted before it"
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- Host-visible state must be identical. ---
+    let t_end = now.max(mq_now) + MS_NS;
+    let page_size = serial.geometry().page_size as usize;
+    for &lpa in &touched {
+        let s_mapped = serial.is_mapped(Lpa(lpa));
+        let m_mapped = driver.controller().ssd().is_mapped(Lpa(lpa));
+        if s_mapped != m_mapped {
+            divergences.push(format!(
+                "lpa {lpa}: serial mapped={s_mapped}, mq mapped={m_mapped}"
+            ));
+            continue;
+        }
+        let s_trimmed = serial.trimmed_at(Lpa(lpa)).is_some();
+        let m_trimmed = driver.controller().ssd().trimmed_at(Lpa(lpa)).is_some();
+        if s_trimmed != m_trimmed {
+            divergences.push(format!(
+                "lpa {lpa}: serial trimmed={s_trimmed}, mq trimmed={m_trimmed}"
+            ));
+        }
+        if !s_mapped {
+            continue;
+        }
+        let s_bytes = serial
+            .read(Lpa(lpa), t_end)
+            .map(|(d, _)| d.materialize(page_size));
+        match (s_bytes, driver.read(Lpa(lpa), t_end + MS_NS)) {
+            (Ok(s), Ok(m)) => {
+                if s != m {
+                    divergences.push(format!("lpa {lpa}: head bytes differ"));
+                }
+            }
+            (s, m) => divergences.push(format!(
+                "lpa {lpa}: read outcomes differ (serial ok={}, mq ok={})",
+                s.is_ok(),
+                m.is_ok()
+            )),
+        }
+    }
+
+    QueueRunOutcome {
+        divergences,
+        ooo_completions: driver.controller().ooo_completions(),
+        completed,
+        flushes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use almanac_flash::Geometry;
+
+    fn cfg() -> SsdConfig {
+        SsdConfig::new(Geometry::small_test())
+    }
+
+    #[test]
+    fn identical_state_on_a_simple_stream() {
+        let ops: Vec<OracleOp> = (0..40)
+            .map(|i| OracleOp::Write {
+                lpa: i % 8,
+                gap: 1_000,
+            })
+            .chain([OracleOp::Flush { gap: 0 }])
+            .chain((0..8).map(|lpa| OracleOp::Read { lpa, gap: 1_000 }))
+            .collect();
+        let out = lockstep_queue_run(cfg(), &ops, 3, 8);
+        assert!(out.passed(), "divergences: {:?}", out.divergences);
+        assert_eq!(out.completed, 49);
+        assert_eq!(out.flushes, 1);
+    }
+
+    #[test]
+    fn depth_one_is_in_order() {
+        let ops: Vec<OracleOp> = (0..30)
+            .map(|i| OracleOp::Write {
+                lpa: i % 5,
+                gap: 500,
+            })
+            .collect();
+        let out = lockstep_queue_run(cfg(), &ops, 4, 1);
+        assert!(out.passed(), "divergences: {:?}", out.divergences);
+        assert_eq!(out.ooo_completions, 0);
+    }
+}

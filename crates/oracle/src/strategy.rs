@@ -269,6 +269,23 @@ pub fn injected_faults(domain: u64, ops: usize) -> BoxedStrategy<(Vec<OracleOp>,
         .boxed()
 }
 
+/// Host-I/O-only traffic for the multi-queue lockstep (`queues` module):
+/// writes, reads, trims, and flush barriers — the op set an NVMe queue can
+/// carry — with enough flushes that fence audits bite and enough page reuse
+/// that per-queue ordering matters.
+pub fn queued_ops(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {
+    let op = prop_oneof![
+        6 => (hot_cold_lpa(domain), small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Write { lpa, gap }),
+        2 => (hot_cold_lpa(domain), small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Read { lpa, gap }),
+        1 => (0u64..domain, small_gap())
+            .prop_map(|(lpa, gap)| OracleOp::Trim { lpa, gap }),
+        1 => small_gap().prop_map(|gap| OracleOp::Flush { gap }),
+    ];
+    collection::vec(op, ops).boxed()
+}
+
 /// Rollback storms: writes interleaved with span rollbacks to random past
 /// instants, each verified page-by-page against the model's as-of answer.
 pub fn rollback_storm(domain: u64, ops: usize) -> BoxedStrategy<Vec<OracleOp>> {

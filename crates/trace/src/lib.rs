@@ -30,10 +30,12 @@
 
 #![warn(missing_docs)]
 
+mod qdreplay;
 mod record;
 mod replay;
 mod trace;
 
+pub use qdreplay::{replay_qd, QdReplayReport};
 pub use record::{TraceOp, TraceRecord};
 pub use replay::{replay, replay_with_sampler, ReplayReport};
 pub use trace::{Trace, TraceError};

@@ -74,7 +74,9 @@ pub fn replay_with_sampler<D: SsdDevice>(
             record.pages.max(1) as u64
         };
         for i in 0..span {
-            let lpa = Lpa((record.lpa + i) % exported);
+            // Reduce before offsetting: `record.lpa + i` overflows u64 for
+            // trace addresses near the top of the space.
+            let lpa = Lpa((record.lpa % exported).wrapping_add(i) % exported);
             let result = match record.op {
                 TraceOp::Write => device
                     .write(
@@ -178,6 +180,20 @@ mod tests {
         let t = Trace::new("wrap", vec![TraceRecord::new(0, TraceOp::Write, big, 1)]);
         let r = replay(&t, &mut ssd).unwrap();
         assert_eq!(r.user_writes, 1);
+    }
+
+    #[test]
+    fn lpa_near_u64_max_does_not_overflow() {
+        // A multi-page request whose raw address sits at the top of the
+        // u64 space: `record.lpa + i` would overflow; the reduced form
+        // must land every page inside the exported range.
+        let mut ssd = RegularSsd::new(SsdConfig::new(Geometry::small_test()));
+        let t = Trace::new(
+            "edge",
+            vec![TraceRecord::new(0, TraceOp::Write, u64::MAX - 2, 8)],
+        );
+        let r = replay(&t, &mut ssd).unwrap();
+        assert_eq!(r.user_writes, 8);
     }
 
     #[test]
