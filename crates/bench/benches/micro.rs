@@ -5,7 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 
 use almanac_bloom::{BloomChain, BloomFilter, ChainConfig};
 use almanac_compress::{delta, lzf};
-use almanac_core::{RegularSsd, SsdConfig, SsdDevice, TimeSsd};
+use almanac_core::{RegularSsd, SsdConfig, SsdDevice, SsdReadOps, TimeSsd};
 use almanac_flash::{Geometry, Lpa, PageData};
 
 fn text_page() -> Vec<u8> {

@@ -11,7 +11,7 @@
 //! delta the cost knobs account for.
 
 use almanac_bloom::ChainConfig;
-use almanac_core::{SsdConfig, SsdDevice, TimeSsd};
+use almanac_core::{SsdConfig, SsdDevice, SsdReadOps, TimeSsd};
 use almanac_flash::{Geometry, Lpa, PageData, MS_NS, SEC_NS, US_NS};
 
 use crate::print_table;

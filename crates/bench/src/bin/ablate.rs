@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release -p almanac-bench --bin ablate`
 
 use almanac_bench::{bench_config, fmt_days, fmt_ms, print_table, run_profile};
-use almanac_core::{SsdConfig, SsdDevice, TimeSsd};
+use almanac_core::{SsdConfig, SsdReadOps, TimeSsd};
 use almanac_flash::{Nanos, MS_NS};
 use almanac_workloads::profiles;
 

@@ -6,7 +6,7 @@
 use almanac_bench::engine::timed;
 use almanac_bench::report::{BenchReport, FigureRecord};
 use almanac_bench::{
-    barrierlat, fast_mode, fig10, fig11, fig6_7, fig8, fig9, qdscale, table3, trimwa,
+    barrierlat, fast_mode, fig10, fig11, fig6_7, fig8, fig9, qdscale, shardscale, table3, trimwa,
 };
 use almanac_workloads::{fiu_profiles, msr_profiles};
 
@@ -114,6 +114,17 @@ fn main() {
     });
     report.push_figure(FigureRecord {
         name: "qdscale".into(),
+        wall_ms: t.wall_ms,
+        cells: t.value,
+    });
+
+    let t = timed(|| {
+        let rows = shardscale::run(SEED);
+        shardscale::print(&rows);
+        shardscale::cells(&rows)
+    });
+    report.push_figure(FigureRecord {
+        name: "shardscale".into(),
         wall_ms: t.wall_ms,
         cells: t.value,
     });

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release -p almanac-bench --bin diag`
 
 use almanac_bench::*;
-use almanac_core::SsdDevice;
+use almanac_core::SsdReadOps;
 use almanac_flash::DAY_NS;
 use almanac_workloads::profiles;
 

@@ -171,6 +171,7 @@ pub fn warm_cache() -> &'static WarmCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use almanac_core::SsdReadOps;
 
     #[test]
     fn pool_preserves_submission_order() {

@@ -33,6 +33,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod qdscale;
 pub mod report;
+pub mod shardscale;
 pub mod table3;
 pub mod trimwa;
 
@@ -176,6 +177,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use almanac_core::SsdReadOps;
     use almanac_workloads::profiles;
 
     #[test]

@@ -6,7 +6,7 @@
 //! LPA), and `RollBack` (revert that LPA), reporting each operation's
 //! virtual execution time.
 
-use almanac_core::SsdDevice;
+use almanac_core::SsdReadOps;
 use almanac_flash::{Lpa, Nanos, DAY_NS};
 use almanac_workloads::{fiu_profiles, msr_profiles, TraceProfile};
 
@@ -48,8 +48,8 @@ fn query_cell(profile: TraceProfile, days: u32, usage: f64, seed: u64) -> Timed<
 
         // A random-but-deterministic LPA with history.
         let lpa = pick_lpa_with_history(kits.ssd(), seed);
-        let (_, aq_cost) = kits.addr_query_all(lpa, 1).unwrap();
-        let addr_query_all_ns = aq_cost.makespan(1);
+        let aq = kits.query(lpa, 1).all_versions().run().unwrap();
+        let addr_query_all_ns = aq.cost.makespan(1);
 
         let mut kits = almanac_kits::TimeKits::new(&mut ssd);
         let before = kits.ssd().config().latency;

@@ -7,7 +7,7 @@
 //! watermark or the host flush barrier amortise the program. The figure
 //! reports the journal programs each mode paid for identical host traffic.
 
-use almanac_core::{SsdConfig, SsdDevice, TimeSsd};
+use almanac_core::{SsdConfig, SsdDevice, SsdReadOps, TimeSsd};
 use almanac_flash::{Geometry, Lpa, PageData, MS_NS, SEC_NS};
 
 use crate::print_table;

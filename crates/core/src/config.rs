@@ -86,6 +86,13 @@ pub struct SsdConfig {
     /// than this long ago, so rarely-trimming workloads don't hold acked
     /// trims volatile indefinitely between barriers. `0` disables aging.
     pub tombstone_flush_deadline: Nanos,
+    /// Partitions of the address-mapping table (and the IMT / map-cache
+    /// slices riding on it), keyed by `lpa % amt_shards`. Each shard carries
+    /// its own `RwLock`, so storage-state queries can fan across shards on
+    /// shared locks while the write path keeps exclusive access. Defaults to
+    /// the channel count; clamped to at least 1. Shard count never changes
+    /// host-visible state — only lock granularity and query parallelism.
+    pub amt_shards: u32,
 }
 
 impl SsdConfig {
@@ -115,6 +122,7 @@ impl SsdConfig {
             flush_page_cost: 10 * US_NS,
             flush_barrier_cost: 20 * US_NS,
             tombstone_flush_deadline: 500 * MS_NS,
+            amt_shards: geometry.channels.max(1),
         }
     }
 
@@ -182,6 +190,12 @@ impl SsdConfig {
         self.tombstone_flush_deadline = deadline;
         self
     }
+
+    /// Sets the mapping-table shard count (clamped to at least 1).
+    pub fn with_amt_shards(mut self, shards: u32) -> Self {
+        self.amt_shards = shards.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +222,15 @@ mod tests {
         assert_eq!(cfg.flush_page_cost, 10 * US_NS);
         assert_eq!(cfg.flush_barrier_cost, 20 * US_NS);
         assert_eq!(cfg.tombstone_flush_deadline, 500 * MS_NS);
+        assert_eq!(cfg.amt_shards, cfg.geometry.channels.max(1));
+    }
+
+    #[test]
+    fn shard_count_defaults_to_channels_and_clamps_to_one() {
+        let cfg = SsdConfig::new(Geometry::small_test());
+        assert_eq!(cfg.amt_shards, cfg.geometry.channels);
+        assert_eq!(cfg.clone().with_amt_shards(0).amt_shards, 1);
+        assert_eq!(cfg.with_amt_shards(8).amt_shards, 8);
     }
 
     #[test]

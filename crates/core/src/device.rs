@@ -22,12 +22,41 @@ impl Completion {
     }
 }
 
+/// The `&self` half of a simulated SSD: introspection and the time-travel
+/// read view.
+///
+/// Splitting these off [`SsdDevice`] is what lets the storage-state query
+/// path run without exclusive access to the device — the NVMe front end can
+/// fan queries across mapping-table shards on shared locks while holding
+/// only `&self`, instead of funnelling every lookup through the `&mut`
+/// command path.
+pub trait SsdReadOps {
+    /// Cumulative statistics.
+    fn stats(&self) -> &DeviceStats;
+
+    /// Number of host-visible pages.
+    fn exported_pages(&self) -> u64;
+
+    /// Human-readable device kind (e.g. `"regular"`, `"timessd"`).
+    fn kind(&self) -> &'static str;
+
+    /// Shared-access view of the device's retained history, if it keeps
+    /// one. `None` for devices without time travel (the regular and
+    /// FlashGuard baselines); `Some` for TimeSSD, whose view answers
+    /// `version_as_of` / `versions_in` / `version_chain` through per-shard
+    /// read locks.
+    fn read_view(&self) -> Option<crate::timessd::query::SsdReadView<'_>> {
+        None
+    }
+}
+
 /// A simulated SSD exposed as a page-granular block device.
 ///
 /// All methods take the virtual arrival time `now`; implementations account
 /// internal work (garbage collection, compression) into the returned
-/// [`Completion`].
-pub trait SsdDevice {
+/// [`Completion`]. The `&self` introspection methods live on the
+/// [`SsdReadOps`] supertrait.
+pub trait SsdDevice: SsdReadOps {
     /// Writes one page of data to `lpa`.
     fn write(&mut self, lpa: Lpa, data: PageData, now: Nanos) -> Result<Completion>;
 
@@ -52,15 +81,6 @@ pub trait SsdDevice {
     /// finish: now })` default silently gave every device a time-traveling
     /// fsync.
     fn flush(&mut self, now: Nanos) -> Result<Completion>;
-
-    /// Cumulative statistics.
-    fn stats(&self) -> &DeviceStats;
-
-    /// Number of host-visible pages.
-    fn exported_pages(&self) -> u64;
-
-    /// Human-readable device kind (e.g. `"regular"`, `"timessd"`).
-    fn kind(&self) -> &'static str;
 }
 
 #[cfg(test)]

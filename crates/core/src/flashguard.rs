@@ -15,7 +15,7 @@ use almanac_flash::{BlockId, FlashArray, Lpa, Nanos, Oob, PageData, Ppa, DAY_NS}
 
 use crate::alloc::Allocator;
 use crate::config::SsdConfig;
-use crate::device::{Completion, SsdDevice};
+use crate::device::{Completion, SsdDevice, SsdReadOps};
 use crate::error::{AlmanacError, Result};
 use crate::stats::DeviceStats;
 use crate::tables::{Amt, AmtEntry, BlockKind, Bst, Pvt};
@@ -337,7 +337,9 @@ impl SsdDevice for FlashGuardSsd {
         self.stats.flush_lat.record(completion.response(now));
         Ok(completion)
     }
+}
 
+impl SsdReadOps for FlashGuardSsd {
     fn stats(&self) -> &DeviceStats {
         &self.stats
     }
@@ -349,6 +351,8 @@ impl SsdDevice for FlashGuardSsd {
     fn kind(&self) -> &'static str {
         "flashguard"
     }
+    // No `read_view`: FlashGuard retains suspect pages for recovery, not a
+    // host-queryable time-travel index.
 }
 
 #[cfg(test)]

@@ -45,14 +45,16 @@ mod timessd;
 
 pub use alloc::{Allocator, OpenBlock};
 pub use config::SsdConfig;
-pub use device::{Completion, SsdDevice};
+pub use device::{Completion, SsdDevice, SsdReadOps};
 pub use error::{AlmanacError, Result};
 pub use flashguard::FlashGuardSsd;
-pub use mapcache::MapCache;
+pub use mapcache::{MapCache, ShardedMapCache};
 pub use regular::RegularSsd;
 pub use stats::{DeviceStats, LatencyAcc};
-pub use tables::{Amt, AmtEntry, BlockInfo, BlockKind, Bst, Gmd, Imt, Prt, Pvt};
+pub use tables::{
+    Amt, AmtEntry, BlockInfo, BlockKind, Bst, Gmd, Imt, Prt, Pvt, ShardedAmt, ShardedImt,
+};
 pub use timessd::check::{ConsistencyReport, Violation};
-pub use timessd::query::{VersionInfo, VersionLocation};
+pub use timessd::query::{SsdReadView, VersionInfo, VersionLocation};
 pub use timessd::retention::PeriodCounters;
 pub use timessd::{TimeSsd, REF_ZEROS};

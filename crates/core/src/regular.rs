@@ -10,7 +10,7 @@ use almanac_flash::{BlockId, FlashArray, Lpa, Nanos, Oob, PageData, Ppa};
 
 use crate::alloc::Allocator;
 use crate::config::SsdConfig;
-use crate::device::{Completion, SsdDevice};
+use crate::device::{Completion, SsdDevice, SsdReadOps};
 use crate::error::{AlmanacError, Result};
 use crate::stats::DeviceStats;
 use crate::tables::{Amt, AmtEntry, BlockKind, Bst, Gmd, Pvt};
@@ -324,7 +324,9 @@ impl SsdDevice for RegularSsd {
         self.stats.flush_lat.record(completion.response(now));
         Ok(completion)
     }
+}
 
+impl SsdReadOps for RegularSsd {
     fn stats(&self) -> &DeviceStats {
         &self.stats
     }
@@ -336,6 +338,7 @@ impl SsdDevice for RegularSsd {
     fn kind(&self) -> &'static str {
         "regular"
     }
+    // No `read_view`: a regular SSD keeps no history to query.
 }
 
 #[cfg(test)]

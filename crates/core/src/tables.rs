@@ -8,9 +8,26 @@
 //! `timessd::deltas`).
 
 use std::collections::HashMap;
+use std::sync::{RwLock, RwLockReadGuard};
 
 use almanac_bloom::FilterId;
 use almanac_flash::{BlockId, Geometry, Lpa, Nanos, Ppa};
+
+/// Acquires a shard read lock, tolerating poison: a panicking reader cannot
+/// have left the table in a torn state (readers never mutate), and the write
+/// path goes through `get_mut`, which bypasses the lock entirely.
+fn read_shard<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Mutable access to a shard through `&mut self` — no lock is taken, so the
+/// single-writer FTL path stays exactly as fast as the unsharded table.
+fn shard_mut<T>(lock: &mut RwLock<T>) -> &mut T {
+    match lock.get_mut() {
+        Ok(v) => v,
+        Err(e) => e.into_inner(),
+    }
+}
 
 /// One entry of the address mapping table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -357,6 +374,201 @@ impl Imt {
     }
 }
 
+/// Address mapping table ① sharded by `lpa % shards`.
+///
+/// Shard `s` owns every exported LPA congruent to `s`, stored densely at
+/// local slot `lpa / shards`. Each shard sits behind its own `RwLock`:
+/// storage-state queries (`&self`) take shared locks per lookup, while the
+/// FTL write path reaches the shard through `&mut self` without locking at
+/// all (`RwLock::get_mut`). Host-visible behaviour is identical to [`Amt`]
+/// for every shard count; only lock granularity changes.
+#[derive(Debug)]
+pub struct ShardedAmt {
+    shards: Vec<RwLock<Vec<AmtEntry>>>,
+    nshards: u64,
+    exported: u64,
+}
+
+impl Clone for ShardedAmt {
+    fn clone(&self) -> Self {
+        ShardedAmt {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| RwLock::new(read_shard(s).clone()))
+                .collect(),
+            nshards: self.nshards,
+            exported: self.exported,
+        }
+    }
+}
+
+impl ShardedAmt {
+    /// All-unmapped table over `exported_pages` LPAs split into `shards`
+    /// partitions (clamped to at least 1).
+    pub fn new(exported_pages: u64, shards: u32) -> Self {
+        let nshards = u64::from(shards.max(1));
+        let shards = (0..nshards)
+            .map(|s| {
+                // LPAs in [0, exported) congruent to s mod nshards.
+                let local = exported_pages.saturating_sub(s).div_ceil(nshards);
+                RwLock::new(vec![AmtEntry::Unmapped; local as usize])
+            })
+            .collect();
+        ShardedAmt {
+            shards,
+            nshards,
+            exported: exported_pages,
+        }
+    }
+
+    /// Number of logical pages (across all shards).
+    pub fn len(&self) -> u64 {
+        self.exported
+    }
+
+    /// True if the table covers zero pages.
+    pub fn is_empty(&self) -> bool {
+        self.exported == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.nshards as u32
+    }
+
+    /// Entries currently held by shard `s` that are not `Unmapped` — the
+    /// occupancy the [`ShardSkew`](crate::Violation) audit compares across
+    /// shards. Out-of-range shards read as 0.
+    pub fn shard_occupancy(&self, shard: u32) -> u64 {
+        self.shards
+            .get(shard as usize)
+            .map(|s| {
+                read_shard(s)
+                    .iter()
+                    .filter(|e| !matches!(e, AmtEntry::Unmapped))
+                    .count() as u64
+            })
+            .unwrap_or(0)
+    }
+
+    /// Looks up an entry through the owning shard's read lock. Out-of-range
+    /// addresses read as `Unmapped`, as in [`Amt::get`].
+    pub fn get(&self, lpa: Lpa) -> AmtEntry {
+        if lpa.0 >= self.exported {
+            return AmtEntry::Unmapped;
+        }
+        let shard = read_shard(&self.shards[(lpa.0 % self.nshards) as usize]);
+        shard
+            .get((lpa.0 / self.nshards) as usize)
+            .copied()
+            .unwrap_or(AmtEntry::Unmapped)
+    }
+
+    /// Replaces an entry, returning the previous one. Reaches the shard via
+    /// `&mut` (no lock). Out-of-range addresses are ignored, as in
+    /// [`Amt::set`].
+    pub fn set(&mut self, lpa: Lpa, entry: AmtEntry) -> AmtEntry {
+        if lpa.0 >= self.exported {
+            return AmtEntry::Unmapped;
+        }
+        let local = (lpa.0 / self.nshards) as usize;
+        let shard = shard_mut(&mut self.shards[(lpa.0 % self.nshards) as usize]);
+        match shard.get_mut(local) {
+            Some(slot) => std::mem::replace(slot, entry),
+            None => AmtEntry::Unmapped,
+        }
+    }
+
+    /// Iterates over `(lpa, entry)` pairs in global LPA order — the same
+    /// order [`Amt::iter`] yields, which GC's reverse lookup and the
+    /// consistency checker rely on for determinism. Holds every shard's read
+    /// lock for the iterator's lifetime, giving a coherent snapshot.
+    pub fn iter(&self) -> impl Iterator<Item = (Lpa, AmtEntry)> + '_ {
+        let guards: Vec<RwLockReadGuard<'_, Vec<AmtEntry>>> =
+            self.shards.iter().map(read_shard).collect();
+        let nshards = self.nshards;
+        (0..self.exported).map(move |lpa| {
+            let entry = guards[(lpa % nshards) as usize]
+                .get((lpa / nshards) as usize)
+                .copied()
+                .unwrap_or(AmtEntry::Unmapped);
+            (Lpa(lpa), entry)
+        })
+    }
+}
+
+/// Index mapping table ⑤ sharded by `lpa % shards`, mirroring
+/// [`ShardedAmt`]: delta-chain heads live with the shard that owns the LPA,
+/// so a ranged query touches only the shards its LPAs hash to.
+#[derive(Debug, Default)]
+pub struct ShardedImt {
+    shards: Vec<RwLock<Imt>>,
+    nshards: u64,
+}
+
+impl Clone for ShardedImt {
+    fn clone(&self) -> Self {
+        ShardedImt {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| RwLock::new(read_shard(s).clone()))
+                .collect(),
+            nshards: self.nshards,
+        }
+    }
+}
+
+impl ShardedImt {
+    /// Empty table split into `shards` partitions (clamped to at least 1).
+    pub fn new(shards: u32) -> Self {
+        let nshards = u64::from(shards.max(1));
+        ShardedImt {
+            shards: (0..nshards).map(|_| RwLock::new(Imt::new())).collect(),
+            nshards,
+        }
+    }
+
+    /// Head of the delta chain for `lpa`, through the owning shard's read
+    /// lock.
+    pub fn head(&self, lpa: Lpa) -> Option<(Ppa, Nanos)> {
+        read_shard(&self.shards[(lpa.0 % self.nshards) as usize]).head(lpa)
+    }
+
+    /// Updates the chain head (lock-free via `&mut`).
+    pub fn set_head(&mut self, lpa: Lpa, page: Ppa, newest_ts: Nanos) {
+        shard_mut(&mut self.shards[(lpa.0 % self.nshards) as usize]).set_head(lpa, page, newest_ts)
+    }
+
+    /// Removes the chain head (when the whole delta chain expired).
+    pub fn remove(&mut self, lpa: Lpa) -> Option<(Ppa, Nanos)> {
+        shard_mut(&mut self.shards[(lpa.0 % self.nshards) as usize]).remove(lpa)
+    }
+
+    /// Iterates every `(lpa, (delta page, newest ts))` head, shard by shard.
+    /// Order within a shard is hash order (as with [`Imt::iter`]); callers
+    /// must already be order-independent.
+    pub fn iter(&self) -> impl Iterator<Item = (Lpa, (Ppa, Nanos))> + '_ {
+        let guards: Vec<RwLockReadGuard<'_, Imt>> = self.shards.iter().map(read_shard).collect();
+        guards.into_iter().flat_map(|g| {
+            g.iter()
+                .collect::<Vec<_>>() // detach from the guard's lifetime
+                .into_iter()
+        })
+    }
+
+    /// Number of LPAs with compressed versions (across all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| read_shard(s).len()).sum()
+    }
+
+    /// True if no LPA has compressed versions.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| read_shard(s).is_empty())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,5 +640,87 @@ mod tests {
         assert_eq!(imt.head(Lpa(1)), Some((Ppa(9), 77)));
         assert_eq!(imt.remove(Lpa(1)), Some((Ppa(9), 77)));
         assert!(imt.is_empty());
+    }
+
+    #[test]
+    fn sharded_amt_matches_flat_amt_for_every_shard_count() {
+        // Byte-identical behaviour regardless of shard count, including an
+        // exported size that does not divide evenly.
+        let exported = 37u64;
+        let mut flat = Amt::new(exported);
+        for shards in [1u32, 2, 3, 4, 8, 64] {
+            let mut sharded = ShardedAmt::new(exported, shards);
+            assert_eq!(sharded.len(), exported);
+            assert_eq!(sharded.shard_count(), shards);
+            for i in 0..exported {
+                let entry = match i % 3 {
+                    0 => AmtEntry::Mapped(Ppa(i * 7)),
+                    1 => AmtEntry::Trimmed(Ppa(i), i as Nanos),
+                    _ => AmtEntry::Unmapped,
+                };
+                assert_eq!(flat.set(Lpa(i), entry), sharded.set(Lpa(i), entry));
+            }
+            for i in 0..exported + 4 {
+                assert_eq!(flat.get(Lpa(i)), sharded.get(Lpa(i)));
+            }
+            assert!(flat.iter().eq(sharded.iter()), "iter order diverged");
+            // Reset the flat table for the next shard count.
+            flat = Amt::new(exported);
+        }
+    }
+
+    #[test]
+    fn sharded_amt_out_of_range_reads_unmapped_and_ignores_set() {
+        let mut amt = ShardedAmt::new(8, 4);
+        assert_eq!(amt.get(Lpa(8)), AmtEntry::Unmapped);
+        assert_eq!(amt.get(Lpa(u64::MAX)), AmtEntry::Unmapped);
+        assert_eq!(
+            amt.set(Lpa(u64::MAX), AmtEntry::Mapped(Ppa(1))),
+            AmtEntry::Unmapped
+        );
+        assert_eq!(amt.get(Lpa(u64::MAX)), AmtEntry::Unmapped);
+    }
+
+    #[test]
+    fn sharded_amt_clone_is_deep() {
+        let mut a = ShardedAmt::new(16, 4);
+        a.set(Lpa(5), AmtEntry::Mapped(Ppa(50)));
+        let b = a.clone();
+        a.set(Lpa(5), AmtEntry::Unmapped);
+        assert_eq!(b.get(Lpa(5)), AmtEntry::Mapped(Ppa(50)));
+    }
+
+    #[test]
+    fn sharded_amt_occupancy_counts_mapped_and_trimmed() {
+        let mut amt = ShardedAmt::new(16, 4);
+        amt.set(Lpa(0), AmtEntry::Mapped(Ppa(1))); // shard 0
+        amt.set(Lpa(4), AmtEntry::Trimmed(Ppa(2), 9)); // shard 0
+        amt.set(Lpa(1), AmtEntry::Mapped(Ppa(3))); // shard 1
+        assert_eq!(amt.shard_occupancy(0), 2);
+        assert_eq!(amt.shard_occupancy(1), 1);
+        assert_eq!(amt.shard_occupancy(2), 0);
+        assert_eq!(amt.shard_occupancy(99), 0);
+    }
+
+    #[test]
+    fn sharded_imt_matches_flat_imt() {
+        let mut flat = Imt::new();
+        let mut sharded = ShardedImt::new(4);
+        for i in 0..20u64 {
+            flat.set_head(Lpa(i), Ppa(i * 3), i as Nanos);
+            sharded.set_head(Lpa(i), Ppa(i * 3), i as Nanos);
+        }
+        for i in 0..24u64 {
+            assert_eq!(flat.head(Lpa(i)), sharded.head(Lpa(i)));
+        }
+        assert_eq!(flat.len(), sharded.len());
+        let mut a: Vec<_> = flat.iter().collect();
+        let mut b: Vec<_> = sharded.iter().collect();
+        a.sort_by_key(|(l, _)| l.0);
+        b.sort_by_key(|(l, _)| l.0);
+        assert_eq!(a, b);
+        assert_eq!(sharded.remove(Lpa(3)), Some((Ppa(9), 3)));
+        assert!(sharded.head(Lpa(3)).is_none());
+        assert!(!sharded.is_empty());
     }
 }

@@ -32,11 +32,11 @@ use almanac_flash::{FlashArray, Lpa, Nanos, Oob, PageData, Ppa};
 
 use crate::alloc::Allocator;
 use crate::config::SsdConfig;
-use crate::device::{Completion, SsdDevice};
+use crate::device::{Completion, SsdDevice, SsdReadOps};
 use crate::error::{AlmanacError, Result};
-use crate::mapcache::MapCache;
+use crate::mapcache::ShardedMapCache;
 use crate::stats::DeviceStats;
-use crate::tables::{Amt, AmtEntry, BlockKind, Bst, Gmd, Imt, Prt, Pvt};
+use crate::tables::{AmtEntry, BlockKind, Bst, Gmd, Prt, Pvt, ShardedAmt, ShardedImt};
 
 use deltas::DeltaManager;
 use idle::IdlePredictor;
@@ -65,12 +65,12 @@ pub const REF_ZEROS: Nanos = Nanos::MAX;
 pub struct TimeSsd {
     pub(crate) config: SsdConfig,
     pub(crate) flash: FlashArray,
-    pub(crate) amt: Amt,
+    pub(crate) amt: ShardedAmt,
     pub(crate) gmd: Gmd,
     pub(crate) pvt: Pvt,
     pub(crate) prt: Prt,
     pub(crate) bst: Bst,
-    pub(crate) imt: Imt,
+    pub(crate) imt: ShardedImt,
     pub(crate) alloc: Allocator,
     pub(crate) chain: BloomChain,
     pub(crate) deltas: DeltaManager,
@@ -86,8 +86,9 @@ pub struct TimeSsd {
     /// Perf guard: set when the last background-compression scan found no
     /// candidate block; cleared by the next invalidation.
     pub(crate) bg_scan_pointless: bool,
-    /// DFTL-style demand cache of the AMT's translation pages.
-    pub(crate) map_cache: MapCache,
+    /// DFTL-style demand cache of the AMT's translation pages, sliced per
+    /// shard alongside the AMT itself.
+    pub(crate) map_cache: ShardedMapCache,
     /// Erase count at the last wear-leveling attempt (rate limiter).
     pub(crate) wl_mark: u64,
     /// Repair index built by the §3.7 rebuild scan: every on-flash delta
@@ -113,12 +114,12 @@ impl TimeSsd {
         let mappings_per_page = (geo.page_size / 8) as u64;
         TimeSsd {
             flash,
-            amt: Amt::new(exported),
+            amt: ShardedAmt::new(exported, config.amt_shards),
             gmd: Gmd::new(exported, mappings_per_page),
             pvt: Pvt::new(geo.total_pages()),
             prt: Prt::new(geo.total_pages()),
             bst: Bst::new(geo.total_blocks()),
-            imt: Imt::new(),
+            imt: ShardedImt::new(config.amt_shards),
             alloc: Allocator::new(geo),
             chain: BloomChain::new(config.bloom),
             deltas: DeltaManager::new(geo, config.trim_journal_watermark),
@@ -129,7 +130,11 @@ impl TimeSsd {
             last_io_end: 0,
             last_ts: 0,
             bg_scan_pointless: false,
-            map_cache: MapCache::new(mappings_per_page, config.amt_cache_pages),
+            map_cache: ShardedMapCache::new(
+                mappings_per_page,
+                config.amt_cache_pages,
+                config.amt_shards,
+            ),
             wl_mark: 0,
             recovered_deltas: std::collections::HashMap::new(),
             config,
@@ -189,7 +194,15 @@ impl TimeSsd {
 
     /// Translation-page cache traffic: `(fault reads, dirty writebacks)`.
     pub fn map_cache_traffic(&self) -> (u64, u64) {
-        (self.map_cache.fault_reads, self.map_cache.writeback_writes)
+        (
+            self.map_cache.fault_reads(),
+            self.map_cache.writeback_writes(),
+        )
+    }
+
+    /// Number of mapping-table shards this device was built with.
+    pub fn amt_shards(&self) -> u32 {
+        self.amt.shard_count()
     }
 
     /// Flushes all pending delta buffers to flash. This is the host
@@ -538,7 +551,9 @@ impl SsdDevice for TimeSsd {
         self.stats.flush_lat.record(completion.response(now));
         Ok(completion)
     }
+}
 
+impl SsdReadOps for TimeSsd {
     fn stats(&self) -> &DeviceStats {
         &self.stats
     }
@@ -549,5 +564,9 @@ impl SsdDevice for TimeSsd {
 
     fn kind(&self) -> &'static str {
         "timessd"
+    }
+
+    fn read_view(&self) -> Option<query::SsdReadView<'_>> {
+        Some(TimeSsd::read_view(self))
     }
 }

@@ -386,4 +386,98 @@ impl TimeSsd {
     pub fn geometry(&self) -> &almanac_flash::Geometry {
         &self.config.geometry
     }
+
+    /// Shared-access view over this device's retained history — the `&self`
+    /// query path the sharded AMT was built for. Equivalent to
+    /// [`SsdReadOps::read_view`](crate::SsdReadOps::read_view) without the
+    /// trait-object indirection.
+    pub fn read_view(&self) -> SsdReadView<'_> {
+        SsdReadView { ssd: self }
+    }
+}
+
+/// A shared-access window onto a [`TimeSsd`]'s time-travel index.
+///
+/// Every method works through `&self`: lookups take the owning AMT/IMT
+/// shard's read lock, so any number of views (one per query worker) can
+/// traverse version chains concurrently while the device is between `&mut`
+/// commands. The view is `Copy` — hand one to each scoped thread.
+///
+/// Obtained from [`TimeSsd::read_view`] or, device-generically, from
+/// [`SsdReadOps::read_view`](crate::SsdReadOps::read_view).
+#[derive(Clone, Copy)]
+pub struct SsdReadView<'a> {
+    ssd: &'a TimeSsd,
+}
+
+impl std::fmt::Debug for SsdReadView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsdReadView")
+            .field("exported_pages", &self.ssd.amt.len())
+            .field("amt_shards", &self.ssd.amt.shard_count())
+            .finish()
+    }
+}
+
+impl<'a> SsdReadView<'a> {
+    /// The underlying device (for cost models that need latency/config).
+    pub fn device(&self) -> &'a TimeSsd {
+        self.ssd
+    }
+
+    /// See [`TimeSsd::version_chain`].
+    pub fn version_chain(&self, lpa: Lpa) -> Vec<VersionInfo> {
+        self.ssd.version_chain(lpa)
+    }
+
+    /// See [`TimeSsd::version_as_of`].
+    pub fn version_as_of(&self, lpa: Lpa, at: Nanos) -> Option<VersionInfo> {
+        self.ssd.version_as_of(lpa, at)
+    }
+
+    /// See [`TimeSsd::versions_in`].
+    pub fn versions_in(&self, lpa: Lpa, from: Nanos, to: Nanos) -> Vec<VersionInfo> {
+        self.ssd.versions_in(lpa, from, to)
+    }
+
+    /// See [`TimeSsd::version_content`].
+    pub fn version_content(&self, lpa: Lpa, timestamp: Nanos) -> Result<PageData> {
+        self.ssd.version_content(lpa, timestamp)
+    }
+
+    /// See [`TimeSsd::version_content_with_key`].
+    pub fn version_content_with_key(
+        &self,
+        lpa: Lpa,
+        timestamp: Nanos,
+        key: Option<u64>,
+    ) -> Result<PageData> {
+        self.ssd.version_content_with_key(lpa, timestamp, key)
+    }
+
+    /// See [`TimeSsd::is_mapped`].
+    pub fn is_mapped(&self, lpa: Lpa) -> bool {
+        self.ssd.is_mapped(lpa)
+    }
+
+    /// See [`TimeSsd::trimmed_at`].
+    pub fn trimmed_at(&self, lpa: Lpa) -> Option<Nanos> {
+        self.ssd.trimmed_at(lpa)
+    }
+
+    /// See [`TimeSsd::geometry`].
+    pub fn geometry(&self) -> &'a almanac_flash::Geometry {
+        self.ssd.geometry()
+    }
+
+    /// Number of host-visible pages.
+    pub fn exported_pages(&self) -> u64 {
+        self.ssd.amt.len()
+    }
+
+    /// Mapping-table shards behind this view — the natural fan-out width
+    /// for a parallel ranged query.
+    pub fn amt_shards(&self) -> u32 {
+        self.ssd.amt.shard_count()
+    }
 }

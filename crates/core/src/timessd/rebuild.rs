@@ -29,7 +29,7 @@ use almanac_flash::{FlashArray, Lpa, Nanos, PageData, Ppa};
 use crate::alloc::Allocator;
 use crate::config::SsdConfig;
 use crate::stats::DeviceStats;
-use crate::tables::{Amt, AmtEntry, BlockKind, Bst, Gmd, Imt, Prt, Pvt};
+use crate::tables::{AmtEntry, BlockKind, Bst, Gmd, Prt, Pvt, ShardedAmt, ShardedImt};
 
 use super::deltas::DeltaManager;
 use super::idle::IdlePredictor;
@@ -47,11 +47,11 @@ impl TimeSsd {
         let exported = config.exported_pages();
         let mappings_per_page = (geo.page_size / 8) as u64;
 
-        let mut amt = Amt::new(exported);
+        let mut amt = ShardedAmt::new(exported, config.amt_shards);
         let mut pvt = Pvt::new(geo.total_pages());
         let mut prt = Prt::new(geo.total_pages());
         let mut bst = Bst::new(geo.total_blocks());
-        let mut imt = Imt::new();
+        let mut imt = ShardedImt::new(config.amt_shards);
         let mut chain = BloomChain::new(config.bloom);
         let mut alloc = Allocator::new(geo);
         let mut last_ts: Nanos = 0;
@@ -266,7 +266,11 @@ impl TimeSsd {
             last_io_end: 0,
             last_ts,
             bg_scan_pointless: false,
-            map_cache: crate::mapcache::MapCache::new(mappings_per_page, config.amt_cache_pages),
+            map_cache: crate::mapcache::ShardedMapCache::new(
+                mappings_per_page,
+                config.amt_cache_pages,
+                config.amt_shards,
+            ),
             wl_mark: 0,
             recovered_deltas,
             config,
@@ -277,7 +281,7 @@ impl TimeSsd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::SsdDevice;
+    use crate::device::{SsdDevice, SsdReadOps};
     use almanac_flash::{Geometry, SEC_NS};
 
     fn populated() -> TimeSsd {

@@ -5,7 +5,7 @@ use almanac_bloom::ChainConfig;
 use almanac_flash::{Geometry, Lpa, PageData, DAY_NS, MS_NS, SEC_NS};
 
 use crate::config::SsdConfig;
-use crate::device::SsdDevice;
+use crate::device::{SsdDevice, SsdReadOps};
 use crate::error::AlmanacError;
 use crate::timessd::query::VersionLocation;
 use crate::timessd::TimeSsd;

@@ -468,7 +468,7 @@ impl<D: SsdDevice> AlmanacFs<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use almanac_core::{RegularSsd, SsdConfig, TimeSsd};
+    use almanac_core::{RegularSsd, SsdConfig, SsdReadOps, TimeSsd};
     use almanac_flash::{Geometry, SEC_NS};
 
     fn regular_fs(mode: FsMode) -> AlmanacFs<RegularSsd> {

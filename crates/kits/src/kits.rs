@@ -1,8 +1,9 @@
 //! The Table-1 query and rollback API.
 
-use almanac_core::{AlmanacError, Result, SsdDevice, TimeSsd, VersionInfo};
+use almanac_core::{AlmanacError, Result, SsdDevice, SsdReadOps, TimeSsd};
 use almanac_flash::{Lpa, Nanos, PageData};
 
+use crate::addr_query::{fetch, AddrQuery};
 use crate::cost::QueryCost;
 
 /// One version returned by an address-based query.
@@ -86,48 +87,27 @@ impl<'a> TimeKits<'a> {
         (start..end).map(Lpa)
     }
 
-    fn charge_version(ssd: &TimeSsd, v: &VersionInfo, cost: &mut QueryCost) {
-        let lat = ssd.config().latency;
-        if let Some(chip) = v.chip {
-            cost.charge_read(chip, lat.read_total());
-        }
-        if !matches!(v.location, almanac_core::VersionLocation::DataPage(_)) {
-            // Decoding a delta also reads its reference version and runs the
-            // decompressor — the overhead Figure 10 attributes to TimeSSD.
-            if let Some(chip) = v.chip {
-                cost.charge_read(chip, lat.read_total());
-            }
-            cost.charge_cpu(lat.decompress_ns);
-            cost.note_decompression();
-        }
-    }
-
-    fn fetch(ssd: &TimeSsd, v: &VersionInfo, cost: &mut QueryCost) -> Result<QueryHit> {
-        Self::charge_version(ssd, v, cost);
-        let data = ssd.version_content(v.lpa, v.timestamp)?;
-        Ok(QueryHit {
-            lpa: v.lpa,
-            timestamp: v.timestamp,
-            data,
-        })
+    /// Starts an address query over `cnt` LPAs from `addr` — the single
+    /// entry point behind Table 1's `AddrQuery` / `AddrQueryRange` /
+    /// `AddrQueryAll`. Inherits this toolkit's thread count; narrow with
+    /// [`AddrQuery::as_of`] or [`AddrQuery::range`], then
+    /// [`AddrQuery::run`].
+    pub fn query(&self, addr: Lpa, cnt: u64) -> AddrQuery<'_> {
+        AddrQuery::new(self.ssd.read_view(), addr, cnt).threads(self.threads)
     }
 
     /// `AddrQuery(addr, cnt, t)`: the state of each LPA as of time `t` —
     /// traversal walks newest-to-oldest and stops at the first version whose
     /// writing time reaches the target (§3.9).
+    #[deprecated(note = "use the `AddrQuery` builder: `kits.query(addr, cnt).as_of(t).run()`")]
     pub fn addr_query(&self, addr: Lpa, cnt: u64, t: Nanos) -> Result<(Vec<QueryHit>, QueryCost)> {
-        let mut cost = self.new_cost();
-        let mut hits = Vec::new();
-        for lpa in self.lpa_span(addr, cnt) {
-            if let Some(v) = self.ssd.version_as_of(lpa, t) {
-                hits.push(Self::fetch(self.ssd, &v, &mut cost)?);
-            }
-        }
-        Ok((hits, cost))
+        let out = self.query(addr, cnt).as_of(t).run()?;
+        Ok((out.hits, out.cost))
     }
 
     /// `AddrQueryRange(addr, cnt, t1, t2)`: every version written in
     /// `[t1, t2]` for each LPA, newest first.
+    #[deprecated(note = "use the `AddrQuery` builder: `kits.query(addr, cnt).range(t1, t2).run()`")]
     pub fn addr_query_range(
         &self,
         addr: Lpa,
@@ -135,26 +115,17 @@ impl<'a> TimeKits<'a> {
         t1: Nanos,
         t2: Nanos,
     ) -> Result<(Vec<QueryHit>, QueryCost)> {
-        let mut cost = self.new_cost();
-        let mut hits = Vec::new();
-        for lpa in self.lpa_span(addr, cnt) {
-            for v in self.ssd.versions_in(lpa, t1, t2) {
-                hits.push(Self::fetch(self.ssd, &v, &mut cost)?);
-            }
-        }
-        Ok((hits, cost))
+        let out = self.query(addr, cnt).range(t1, t2).run()?;
+        Ok((out.hits, out.cost))
     }
 
     /// `AddrQueryAll(addr, cnt)`: every retained version of each LPA.
+    #[deprecated(
+        note = "use the `AddrQuery` builder: `kits.query(addr, cnt).all_versions().run()`"
+    )]
     pub fn addr_query_all(&self, addr: Lpa, cnt: u64) -> Result<(Vec<QueryHit>, QueryCost)> {
-        let mut cost = self.new_cost();
-        let mut hits = Vec::new();
-        for lpa in self.lpa_span(addr, cnt) {
-            for v in self.ssd.version_chain(lpa) {
-                hits.push(Self::fetch(self.ssd, &v, &mut cost)?);
-            }
-        }
-        Ok((hits, cost))
+        let out = self.query(addr, cnt).all_versions().run()?;
+        Ok((out.hits, out.cost))
     }
 
     /// Shared engine of the time-based queries: scans every LPA's chain (in
@@ -273,7 +244,7 @@ impl<'a> TimeKits<'a> {
         for &lpa in lpas {
             match self.ssd.version_as_of(lpa, t) {
                 Some(v) => {
-                    let hit = Self::fetch(self.ssd, &v, &mut cost)?;
+                    let hit = fetch(self.ssd, &v, &mut cost)?;
                     // Skip the write when the current state already matches.
                     let already = self
                         .ssd
@@ -341,7 +312,7 @@ impl<'a> TimeKits<'a> {
                 .ssd
                 .version_as_of(lpa, t)
                 .ok_or(AlmanacError::NoSuchVersion { lpa, at: t })?;
-            hits.push(Self::fetch(self.ssd, &v, &mut cost)?);
+            hits.push(fetch(self.ssd, &v, &mut cost)?);
         }
         Ok((hits, cost))
     }
@@ -376,11 +347,13 @@ mod tests {
     fn addr_query_returns_state_as_of() {
         let mut ssd = device_with_history();
         let kits = TimeKits::new(&mut ssd);
-        let (hits, cost) = kits
-            .addr_query(Lpa(0), 4, 2 * SEC_NS + 500_000_000)
+        let out = kits
+            .query(Lpa(0), 4)
+            .as_of(2 * SEC_NS + 500_000_000)
+            .run()
             .unwrap();
-        assert_eq!(hits.len(), 4);
-        for h in &hits {
+        assert_eq!(out.hits.len(), 4);
+        for h in &out.hits {
             assert_eq!(
                 h.data,
                 PageData::Synthetic {
@@ -389,26 +362,54 @@ mod tests {
                 }
             );
         }
-        assert!(cost.flash_reads > 0);
+        assert!(out.cost.flash_reads > 0);
     }
 
     #[test]
     fn addr_query_all_returns_whole_history() {
         let mut ssd = device_with_history();
         let kits = TimeKits::new(&mut ssd);
-        let (hits, _) = kits.addr_query_all(Lpa(1), 1).unwrap();
-        assert_eq!(hits.len(), 3);
-        assert!(hits.windows(2).all(|w| w[0].timestamp > w[1].timestamp));
+        let out = kits.query(Lpa(1), 1).all_versions().run().unwrap();
+        assert_eq!(out.hits.len(), 3);
+        assert!(out.hits.windows(2).all(|w| w[0].timestamp > w[1].timestamp));
     }
 
     #[test]
     fn addr_query_range_bounds_versions() {
         let mut ssd = device_with_history();
         let kits = TimeKits::new(&mut ssd);
-        let (hits, _) = kits
-            .addr_query_range(Lpa(0), 1, 2 * SEC_NS, 4 * SEC_NS)
+        let out = kits
+            .query(Lpa(0), 1)
+            .range(2 * SEC_NS, 4 * SEC_NS)
+            .run()
             .unwrap();
-        assert_eq!(hits.len(), 2); // versions 2 and 3
+        assert_eq!(out.hits.len(), 2); // versions 2 and 3
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_builder() {
+        let mut ssd = device_with_history();
+        let kits = TimeKits::new(&mut ssd);
+        let t = 2 * SEC_NS + 500_000_000;
+        let (hits, cost) = kits.addr_query(Lpa(0), 4, t).unwrap();
+        let out = kits.query(Lpa(0), 4).as_of(t).run().unwrap();
+        assert_eq!(hits, out.hits);
+        assert_eq!(cost, out.cost);
+        let (hits, cost) = kits
+            .addr_query_range(Lpa(0), 4, SEC_NS, 2 * SEC_NS)
+            .unwrap();
+        let out = kits
+            .query(Lpa(0), 4)
+            .range(SEC_NS, 2 * SEC_NS)
+            .run()
+            .unwrap();
+        assert_eq!(hits, out.hits);
+        assert_eq!(cost, out.cost);
+        let (hits, cost) = kits.addr_query_all(Lpa(0), 4).unwrap();
+        let out = kits.query(Lpa(0), 4).all_versions().run().unwrap();
+        assert_eq!(hits, out.hits);
+        assert_eq!(cost, out.cost);
     }
 
     #[test]
@@ -520,13 +521,15 @@ mod tests {
         let chain = kits.ssd().version_chain(Lpa(0));
         let newest = chain.first().unwrap().timestamp;
         let oldest = chain.last().unwrap().timestamp;
-        let (hits, _) = kits.addr_query_range(Lpa(0), 1, oldest, newest).unwrap();
-        assert_eq!(hits.len(), chain.len());
+        let out = kits.query(Lpa(0), 1).range(oldest, newest).run().unwrap();
+        assert_eq!(out.hits.len(), chain.len());
         // Exclusive-feeling boundaries: one nanosecond inside drops the ends.
-        let (hits, _) = kits
-            .addr_query_range(Lpa(0), 1, oldest + 1, newest - 1)
+        let out = kits
+            .query(Lpa(0), 1)
+            .range(oldest + 1, newest - 1)
+            .run()
             .unwrap();
-        assert_eq!(hits.len(), chain.len() - 2);
+        assert_eq!(out.hits.len(), chain.len() - 2);
     }
 
     #[test]
@@ -560,12 +563,12 @@ mod tests {
         let mut ssd = device_with_history();
         let mut kits = TimeKits::new(&mut ssd);
         let addr = Lpa(u64::MAX - 1);
-        let (hits, _) = kits.addr_query(addr, 8, 10 * SEC_NS).unwrap();
-        assert!(hits.is_empty());
-        let (hits, _) = kits.addr_query_range(addr, 8, 0, u64::MAX).unwrap();
-        assert!(hits.is_empty());
-        let (hits, _) = kits.addr_query_all(addr, 8).unwrap();
-        assert!(hits.is_empty());
+        let out = kits.query(addr, 8).as_of(10 * SEC_NS).run().unwrap();
+        assert!(out.hits.is_empty());
+        let out = kits.query(addr, 8).range(0, u64::MAX).run().unwrap();
+        assert!(out.hits.is_empty());
+        let out = kits.query(addr, 8).all_versions().run().unwrap();
+        assert!(out.hits.is_empty());
         let out = kits.roll_back(addr, 8, SEC_NS, 10 * SEC_NS).unwrap();
         assert!(out.restored.is_empty() && out.erased.is_empty() && out.skipped.is_empty());
     }
@@ -577,12 +580,18 @@ mod tests {
         let mut ssd = device_with_history();
         let exported = ssd.exported_pages();
         let kits = TimeKits::new(&mut ssd);
-        let (hits, _) = kits.addr_query_all(Lpa(0), exported + 1000).unwrap();
-        assert_eq!(hits.len(), 12); // 4 LPAs × 3 versions, nothing more
-        let (hits, _) = kits
-            .addr_query(Lpa(exported - 1), u64::MAX, 10 * SEC_NS)
+        let out = kits
+            .query(Lpa(0), exported + 1000)
+            .all_versions()
+            .run()
             .unwrap();
-        assert!(hits.is_empty()); // last page has no history, and no wrap
+        assert_eq!(out.hits.len(), 12); // 4 LPAs × 3 versions, nothing more
+        let out = kits
+            .query(Lpa(exported - 1), u64::MAX)
+            .as_of(10 * SEC_NS)
+            .run()
+            .unwrap();
+        assert!(out.hits.is_empty()); // last page has no history, and no wrap
     }
 
     #[test]

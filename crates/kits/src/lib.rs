@@ -6,18 +6,27 @@
 //!
 //! | API | Meaning |
 //! |-----|---------|
-//! | `addr_query` | state of LPA(s) as of a past time |
-//! | `addr_query_range` | all versions of LPA(s) in a time window |
-//! | `addr_query_all` | every retained version of LPA(s) |
+//! | `query(..).as_of(t)` | state of LPA(s) as of a past time (`AddrQuery`) |
+//! | `query(..).range(t1, t2)` | all versions of LPA(s) in a time window (`AddrQueryRange`) |
+//! | `query(..).all_versions()` | every retained version of LPA(s) (`AddrQueryAll`) |
 //! | `time_query` | LPAs updated since a time, with timestamps |
 //! | `time_query_range` | LPAs updated inside a window |
 //! | `time_query_all` | LPAs updated inside the whole retention window |
 //! | `roll_back` | revert LPA(s) to their state at a past time |
 //! | `roll_back_all` | revert every valid LPA |
 //!
+//! The three address queries share one entry point, the [`AddrQuery`]
+//! builder, which runs against an [`SsdReadView`](almanac_core::SsdReadView)
+//! — the `&self` read path — and fans the scan across the device's AMT
+//! shards on scoped host threads. The legacy `addr_query` /
+//! `addr_query_range` / `addr_query_all` methods survive as deprecated
+//! shims over the builder.
+//!
 //! Queries exploit the SSD's internal parallelism: retrieval work is
 //! scheduled across flash chips and the reported virtual latency is the
-//! makespan across worker threads (Figure 11's multi-threaded recovery).
+//! makespan across worker threads (Figure 11's multi-threaded recovery);
+//! address queries additionally report the sharded-schedule makespan via
+//! [`AddrQueryOutcome::makespan`].
 //!
 //! # Examples
 //!
@@ -32,8 +41,8 @@
 //!
 //! let mut kits = TimeKits::new(&mut ssd);
 //! // What did LPA 0 hold three seconds in?
-//! let (hits, _cost) = kits.addr_query(Lpa(0), 1, 3 * SEC_NS).unwrap();
-//! assert_eq!(hits[0].data, PageData::bytes(b"old".to_vec()));
+//! let out = kits.query(Lpa(0), 1).as_of(3 * SEC_NS).run().unwrap();
+//! assert_eq!(out.hits[0].data, PageData::bytes(b"old".to_vec()));
 //! // Roll it back.
 //! kits.roll_back(Lpa(0), 1, 3 * SEC_NS, 10 * SEC_NS).unwrap();
 //! let (data, _) = ssd.read(Lpa(0), 11 * SEC_NS).unwrap();
@@ -42,11 +51,13 @@
 
 #![warn(missing_docs)]
 
+mod addr_query;
 mod cost;
 mod evidence;
 mod kits;
 mod recovery;
 
+pub use addr_query::{AddrQuery, AddrQueryOutcome};
 pub use cost::QueryCost;
 pub use evidence::{EvidenceArchive, EvidenceRecord};
 pub use kits::{QueryHit, RollbackOutcome, TimeKits, TimeQueryHit};

@@ -1,9 +1,9 @@
 //! Property tests of the TimeKits query semantics against a reference
 //! history.
 
-use almanac_core::{SsdConfig, SsdDevice, TimeSsd};
+use almanac_core::{SsdConfig, SsdDevice, SsdReadOps, TimeSsd};
 use almanac_flash::{Geometry, Lpa, PageData, SEC_NS};
-use almanac_kits::TimeKits;
+use almanac_kits::{AddrQuery, TimeKits};
 use proptest::prelude::*;
 
 /// Per-LPA reference log: `(lpa, [(timestamp, version tag)])`.
@@ -12,7 +12,12 @@ type HistoryLog = Vec<(u64, Vec<(u64, u64)>)>;
 /// Builds a device with a known, seeded history and returns it together
 /// with the reference log.
 fn build_history(writes: &[(u8, u8)]) -> (TimeSsd, HistoryLog) {
-    let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::medium_test()));
+    build_history_sharded(writes, SsdConfig::new(Geometry::medium_test()).amt_shards)
+}
+
+/// Same history, explicit AMT shard count.
+fn build_history_sharded(writes: &[(u8, u8)], shards: u32) -> (TimeSsd, HistoryLog) {
+    let mut ssd = TimeSsd::new(SsdConfig::new(Geometry::medium_test()).with_amt_shards(shards));
     let mut log: Vec<(u64, Vec<(u64, u64)>)> = (0..8).map(|l| (l, Vec::new())).collect();
     let mut t = SEC_NS;
     for (i, (lpa8, tag8)) in writes.iter().enumerate() {
@@ -47,14 +52,14 @@ proptest! {
             }
             // Query "as of" halfway through this page's history.
             let (mid_ts, mid_tag) = history[history.len() / 2];
-            let (hits, _) = kits.addr_query(Lpa(*lpa), 1, mid_ts).unwrap();
-            prop_assert_eq!(hits.len(), 1);
-            prop_assert_eq!(&hits[0].data, &PageData::Synthetic { seed: *lpa, version: mid_tag });
+            let out = kits.query(Lpa(*lpa), 1).as_of(mid_ts).run().unwrap();
+            prop_assert_eq!(out.hits.len(), 1);
+            prop_assert_eq!(&out.hits[0].data, &PageData::Synthetic { seed: *lpa, version: mid_tag });
             // Range query returns exactly the versions inside the range.
             let from = history.first().unwrap().0;
             let to = history.last().unwrap().0;
-            let (range_hits, _) = kits.addr_query_range(Lpa(*lpa), 1, from, to).unwrap();
-            prop_assert_eq!(range_hits.len(), history.len());
+            let range = kits.query(Lpa(*lpa), 1).range(from, to).run().unwrap();
+            prop_assert_eq!(range.hits.len(), history.len());
         }
     }
 
@@ -103,13 +108,48 @@ proptest! {
         let (mut ssd, _) = build_history(&writes);
         let exported = ssd.exported_pages();
         let kits = TimeKits::new(&mut ssd);
-        let (hits, _) = kits.addr_query_all(Lpa(addr % (2 * exported)), cnt).unwrap();
-        for h in &hits {
+        let out = kits.query(Lpa(addr % (2 * exported)), cnt).all_versions().run().unwrap();
+        for h in &out.hits {
             prop_assert!(h.lpa.0 < exported);
         }
-        let (hits, _) = kits.addr_query(Lpa(addr), cnt, u64::MAX).unwrap();
-        for h in &hits {
+        let out = kits.query(Lpa(addr), cnt).as_of(u64::MAX).run().unwrap();
+        for h in &out.hits {
             prop_assert!(h.lpa.0 < exported);
+        }
+    }
+
+    #[test]
+    fn addr_queries_are_invariant_across_shard_and_thread_counts(
+        writes in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..64),
+        addr in 0u64..16,
+        cnt in 0u64..16,
+        t1 in any::<u64>(),
+        t2 in any::<u64>(),
+    ) {
+        // Sharding the AMT is pure partitioning: the same history must
+        // answer every query mode byte-identically — hits AND merged cost —
+        // for any shard count and any worker count.
+        let baseline = build_history_sharded(&writes, 1).0;
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let reference: Vec<_> = [
+            AddrQuery::new(baseline.read_view(), Lpa(addr), cnt).as_of(lo).run().unwrap(),
+            AddrQuery::new(baseline.read_view(), Lpa(addr), cnt).range(lo, hi).run().unwrap(),
+            AddrQuery::new(baseline.read_view(), Lpa(addr), cnt).all_versions().run().unwrap(),
+        ].into_iter().collect();
+        for shards in [2u32, 4, 8] {
+            let ssd = build_history_sharded(&writes, shards).0;
+            for threads in [1u32, 3, 8] {
+                let view = ssd.read_view();
+                let outs = [
+                    AddrQuery::new(view, Lpa(addr), cnt).threads(threads).as_of(lo).run().unwrap(),
+                    AddrQuery::new(view, Lpa(addr), cnt).threads(threads).range(lo, hi).run().unwrap(),
+                    AddrQuery::new(view, Lpa(addr), cnt).threads(threads).all_versions().run().unwrap(),
+                ];
+                for (r, o) in reference.iter().zip(outs.iter()) {
+                    prop_assert_eq!(&r.hits, &o.hits, "hits diverged: {} shards, {} threads", shards, threads);
+                    prop_assert_eq!(&r.cost, &o.cost, "cost diverged: {} shards, {} threads", shards, threads);
+                }
+            }
         }
     }
 

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 
 use almanac_core::{AlmanacError, SsdDevice, TimeSsd};
 use almanac_flash::{Lpa, Nanos, PageData};
-use almanac_kits::TimeKits;
+use almanac_kits::{AddrQuery, AddrQueryOutcome, TimeKits};
 
 use crate::queue::{InFlight, QueuePair};
 use crate::sqe::{CompletionEntry, NvmeOpcode, SubmissionEntry};
@@ -82,6 +82,13 @@ impl NvmeController {
     /// the queues).
     pub fn ssd(&self) -> &TimeSsd {
         &self.ssd
+    }
+
+    /// `&self` query path into the firmware: an [`almanac_core::SsdReadView`]
+    /// over the sharded AMT, for hosts that want to run [`AddrQuery`]
+    /// builders directly instead of going through the wire opcodes.
+    pub fn read_view(&self) -> almanac_core::SsdReadView<'_> {
+        self.ssd.read_view()
     }
 
     /// Admin-style queue creation: a new submission/completion queue pair
@@ -280,6 +287,36 @@ impl NvmeController {
         }
     }
 
+    /// Materialises an address-query outcome into the host buffer and
+    /// builds its completion. The CQE posts at `now` plus the sharded
+    /// schedule's makespan over `threads` host workers, so multi-shard
+    /// devices answer parallel queries sooner.
+    fn finish_addr_query(
+        &mut self,
+        e: &SubmissionEntry,
+        result: Result<AddrQueryOutcome, AlmanacError>,
+        threads: u32,
+        now: Nanos,
+    ) -> (CompletionEntry, Nanos) {
+        let page_size = self.ssd.geometry().page_size as usize;
+        match result {
+            Ok(out) => {
+                let pages = out
+                    .hits
+                    .iter()
+                    .map(|h| h.data.materialize(page_size))
+                    .collect();
+                let n = out.hits.len() as u32;
+                self.buffers.insert(e.buffer, pages);
+                (
+                    Self::complete(e.cid, NvmeStatus::Success, n),
+                    now.saturating_add(out.makespan(threads)),
+                )
+            }
+            Err(err) => (Self::complete(e.cid, Self::status_of(&err), 0), now),
+        }
+    }
+
     /// Executes one command at virtual time `now`, returning its completion
     /// entry and the device-side finish instant its CQE may post at.
     /// Errors complete immediately (`now`).
@@ -360,59 +397,38 @@ impl NvmeController {
             }
             NvmeOpcode::AddrQuery => {
                 let (lpa, cnt, t) = (e.get_u64(0), e.cdw[2] as u64, e.get_u64(4));
-                let kits = TimeKits::new(&mut self.ssd);
-                let threads = kits.threads();
-                match kits.addr_query(Lpa(lpa), cnt, t) {
-                    Ok((hits, cost)) => {
-                        let pages = hits.iter().map(|h| h.data.materialize(page_size)).collect();
-                        let n = hits.len() as u32;
-                        self.buffers.insert(e.buffer, pages);
-                        (
-                            Self::complete(e.cid, NvmeStatus::Success, n),
-                            now.saturating_add(cost.makespan(threads)),
-                        )
-                    }
-                    Err(err) => (Self::complete(e.cid, Self::status_of(&err), 0), now),
-                }
+                // CDW13 carries the host worker count (0 = one thread).
+                let threads = e.cdw[3].max(1);
+                let result = AddrQuery::new(self.ssd.read_view(), Lpa(lpa), cnt)
+                    .as_of(t)
+                    .threads(threads)
+                    .run();
+                self.finish_addr_query(&e, result, threads, now)
             }
             NvmeOpcode::AddrQueryRange => {
                 let lpa = e.get_u64(0);
                 let cnt = e.cdw[2] as u64;
                 // t1 in CDW13 (seconds), t2 in CDW14 (seconds) — range
-                // queries use second granularity on the wire.
+                // queries use second granularity on the wire; CDW15 carries
+                // the host worker count (0 = one thread).
                 let t1 = e.cdw[3] as u64 * 1_000_000_000;
                 let t2 = e.cdw[4] as u64 * 1_000_000_000;
-                let kits = TimeKits::new(&mut self.ssd);
-                let threads = kits.threads();
-                match kits.addr_query_range(Lpa(lpa), cnt, t1, t2) {
-                    Ok((hits, cost)) => {
-                        let pages = hits.iter().map(|h| h.data.materialize(page_size)).collect();
-                        let n = hits.len() as u32;
-                        self.buffers.insert(e.buffer, pages);
-                        (
-                            Self::complete(e.cid, NvmeStatus::Success, n),
-                            now.saturating_add(cost.makespan(threads)),
-                        )
-                    }
-                    Err(err) => (Self::complete(e.cid, Self::status_of(&err), 0), now),
-                }
+                let threads = e.cdw[5].max(1);
+                let result = AddrQuery::new(self.ssd.read_view(), Lpa(lpa), cnt)
+                    .range(t1, t2)
+                    .threads(threads)
+                    .run();
+                self.finish_addr_query(&e, result, threads, now)
             }
             NvmeOpcode::AddrQueryAll => {
                 let (lpa, cnt) = (e.get_u64(0), e.cdw[2] as u64);
-                let kits = TimeKits::new(&mut self.ssd);
-                let threads = kits.threads();
-                match kits.addr_query_all(Lpa(lpa), cnt) {
-                    Ok((hits, cost)) => {
-                        let pages = hits.iter().map(|h| h.data.materialize(page_size)).collect();
-                        let n = hits.len() as u32;
-                        self.buffers.insert(e.buffer, pages);
-                        (
-                            Self::complete(e.cid, NvmeStatus::Success, n),
-                            now.saturating_add(cost.makespan(threads)),
-                        )
-                    }
-                    Err(err) => (Self::complete(e.cid, Self::status_of(&err), 0), now),
-                }
+                // CDW13 carries the host worker count (0 = one thread).
+                let threads = e.cdw[3].max(1);
+                let result = AddrQuery::new(self.ssd.read_view(), Lpa(lpa), cnt)
+                    .all_versions()
+                    .threads(threads)
+                    .run();
+                self.finish_addr_query(&e, result, threads, now)
             }
             NvmeOpcode::TimeQuery | NvmeOpcode::TimeQueryRange | NvmeOpcode::TimeQueryAll => {
                 let kits = TimeKits::new(&mut self.ssd).with_threads(4);

@@ -16,6 +16,10 @@
 //! - `LONG_FUZZ_QUEUES` — `0` drops the multi-queue lockstep suite
 //!   (`queues`, in-order vs out-of-order completion schedules through the
 //!   NVMe controller); any other value (default) keeps it.
+//! - `LONG_FUZZ_SHARDS` — `0` drops the sharded-AMT lockstep suite
+//!   (`shards`, one-shard vs N-shard devices compared op for op, including
+//!   power-cut rebuilds and every `AddrQuery` mode); any other value
+//!   (default) keeps it.
 //! - `LONG_FUZZ_REPORT` — where to write the failure report consumed by the
 //!   CI artifact upload (default `long_fuzz_failure.txt`).
 //!
@@ -25,7 +29,7 @@
 
 use almanac_core::SsdConfig;
 use almanac_flash::{Geometry, MS_NS, SEC_NS};
-use almanac_oracle::{lockstep_queue_run, strategy, DifferentialHarness};
+use almanac_oracle::{lockstep_queue_run, lockstep_shard_run, strategy, DifferentialHarness};
 use proptest::{Strategy, TestRng};
 
 fn cached(mut cfg: SsdConfig) -> SsdConfig {
@@ -69,6 +73,7 @@ fn main() {
     let barriers = std::env::var("LONG_FUZZ_BARRIERS").map_or(true, |v| v != "0");
     let aging = std::env::var("LONG_FUZZ_AGING").map_or(true, |v| v != "0");
     let queues = std::env::var("LONG_FUZZ_QUEUES").map_or(true, |v| v != "0");
+    let shards_suite = std::env::var("LONG_FUZZ_SHARDS").map_or(true, |v| v != "0");
     // The seed rotates the RNG stream by salting the case path, so every
     // nightly run walks a fresh deterministic slice of the input space.
     let salt = format!("long_fuzz/{seed}");
@@ -187,6 +192,34 @@ fn main() {
                     case,
                     &format!(
                         "multi-queue lockstep diverged (nqueues {nqueues}, depth {depth}):\n{}",
+                        out.divergences.join("\n")
+                    ),
+                );
+            }
+        }
+        // Sharded-AMT lockstep: the same host stream against a one-shard
+        // and an N-shard device; mapped state, tombstones, chains, rebuild
+        // results, and every AddrQuery mode (hits and costs, at several
+        // worker counts) must match exactly. The shard count and the
+        // traffic shape rotate with the case.
+        if shards_suite {
+            let shards = [2u32, 3, 4, 8][case as usize % 4];
+            let ops = match case % 4 {
+                0 => strategy::skewed_writes(20, 300).generate(&mut rng),
+                1 => strategy::trim_heavy(16, 300).generate(&mut rng),
+                2 => strategy::power_cut_recovery(16, 300).generate(&mut rng),
+                _ => strategy::rollback_storm(12, 250).generate(&mut rng),
+            };
+            let out = lockstep_shard_run(SsdConfig::new(Geometry::medium_test()), &ops, shards);
+            total += 1;
+            if !out.passed() {
+                fail(
+                    &report_path,
+                    seed,
+                    "shards",
+                    case,
+                    &format!(
+                        "sharded-AMT lockstep diverged ({shards} shards):\n{}",
                         out.divergences.join("\n")
                     ),
                 );

@@ -31,7 +31,8 @@
 use std::collections::BTreeMap;
 
 use almanac_core::{
-    AlmanacError, Completion, DeviceStats, Result, SsdConfig, SsdDevice, TimeSsd, VersionLocation,
+    AlmanacError, Completion, DeviceStats, Result, SsdConfig, SsdDevice, SsdReadOps, TimeSsd,
+    VersionLocation,
 };
 use almanac_flash::{FlashError, Geometry, Lpa, Nanos, PageData};
 use almanac_kits::TimeKits;
@@ -752,7 +753,9 @@ impl SsdDevice for DifferentialHarness {
             }
         }
     }
+}
 
+impl SsdReadOps for DifferentialHarness {
     fn stats(&self) -> &DeviceStats {
         self.ssd.stats()
     }
@@ -763,6 +766,13 @@ impl SsdDevice for DifferentialHarness {
 
     fn kind(&self) -> &'static str {
         "timessd-differential"
+    }
+
+    // The harness's read view is the device-under-test's: oracle suites use
+    // it to run AddrQuery builders against the real TimeSsd while the model
+    // stays the arbiter of correctness.
+    fn read_view(&self) -> Option<almanac_core::SsdReadView<'_>> {
+        Some(self.ssd.read_view())
     }
 }
 

@@ -38,10 +38,12 @@ pub mod harness;
 pub mod model;
 pub mod queues;
 pub mod report;
+pub mod shards;
 pub mod strategy;
 
 pub use harness::{minimal_failing_prefix, DifferentialHarness};
 pub use model::{ModelDevice, ModelVersion};
 pub use queues::{lockstep_queue_run, QueueRunOutcome};
 pub use report::{Divergence, DivergenceReport};
+pub use shards::{lockstep_shard_run, ShardRunOutcome};
 pub use strategy::OracleOp;

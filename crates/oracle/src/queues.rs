@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use almanac_core::{SsdConfig, SsdDevice, TimeSsd};
+use almanac_core::{SsdConfig, SsdDevice, SsdReadOps, TimeSsd};
 use almanac_flash::{Lpa, Nanos, PageData, MS_NS};
 use almanac_nvme::{CompletedIo, DriverError, HostDriver, NvmeController, Ticket};
 

@@ -6,7 +6,7 @@
 //! The in-tree proptest runner is deterministic (seeded from the test
 //! path), so a CI failure here reproduces locally with no extra state.
 
-use almanac_core::{SsdConfig, SsdDevice};
+use almanac_core::{SsdConfig, SsdDevice, SsdReadOps};
 use almanac_flash::{FaultPlan, Geometry, Lpa, Nanos, PageData, MS_NS, SEC_NS};
 use almanac_oracle::{minimal_failing_prefix, DifferentialHarness, Divergence, OracleOp};
 use almanac_trace::{replay, Trace, TraceOp, TraceRecord};

@@ -7,7 +7,7 @@
 //! nowhere — afterwards the device still satisfies every invariant and
 //! still agrees with the model, which deliberately ignores failed ops.
 
-use almanac_core::{AlmanacError, SsdConfig, SsdDevice};
+use almanac_core::{AlmanacError, SsdConfig, SsdDevice, SsdReadOps};
 use almanac_flash::{FaultPlan, FlashError, Geometry, Lpa, PageData, MS_NS, SEC_NS};
 use almanac_oracle::{DifferentialHarness, OracleOp};
 use proptest::{proptest, ProptestConfig};

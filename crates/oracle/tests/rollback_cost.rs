@@ -9,7 +9,7 @@
 //! over loaded workers in ceiling shares). Any drift between the toolkit's
 //! accounting and the reference fails loudly, in either direction.
 
-use almanac_core::{SsdConfig, SsdDevice, TimeSsd, VersionLocation};
+use almanac_core::{SsdConfig, SsdDevice, SsdReadOps, TimeSsd, VersionLocation};
 use almanac_flash::{Geometry, Lpa, PageData, MS_NS, SEC_NS};
 use almanac_kits::TimeKits;
 

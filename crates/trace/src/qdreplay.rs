@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use almanac_core::{SsdDevice, TimeSsd};
+use almanac_core::{SsdReadOps, TimeSsd};
 use almanac_flash::Nanos;
 use almanac_nvme::{CompletedIo, DriverError, HostDriver, NvmeController, NvmeStatus, Ticket};
 

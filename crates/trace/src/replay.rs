@@ -142,7 +142,7 @@ const _: () = {
 mod tests {
     use super::*;
     use crate::record::TraceRecord;
-    use almanac_core::{RegularSsd, SsdConfig, TimeSsd};
+    use almanac_core::{RegularSsd, SsdConfig, SsdReadOps, TimeSsd};
     use almanac_flash::{Geometry, DAY_NS, SEC_NS};
 
     fn write_storm(n: u64, lpa_space: u64, gap: Nanos) -> Trace {

@@ -1,6 +1,6 @@
 //! Property tests of the trace codec, prolonging transform, and replayer.
 
-use almanac_core::{RegularSsd, SsdConfig, SsdDevice};
+use almanac_core::{RegularSsd, SsdConfig, SsdReadOps};
 use almanac_flash::Geometry;
 use almanac_trace::{replay, Trace, TraceOp, TraceRecord};
 use proptest::prelude::*;

@@ -207,7 +207,7 @@ pub fn attack<D: SsdDevice>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use almanac_core::{SsdConfig, TimeSsd};
+    use almanac_core::{SsdConfig, SsdReadOps, TimeSsd};
     use almanac_flash::Geometry;
     use almanac_fs::FsMode;
 

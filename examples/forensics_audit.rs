@@ -75,14 +75,18 @@ fn main() {
     // The evidence chain: for a tampered page, both the pre- and
     // post-incident versions are retrievable.
     let kits = TimeKits::new(&mut ssd);
-    let (before, _) = kits.addr_query(Lpa(3), 1, 199 * SEC_NS).expect("before");
+    let before = kits
+        .query(Lpa(3), 1)
+        .as_of(199 * SEC_NS)
+        .run()
+        .expect("before");
     println!(
         "page L3 before the incident: {:?}",
-        String::from_utf8_lossy(&before[0].data.materialize(10))
+        String::from_utf8_lossy(&before.hits[0].data.materialize(10))
     );
-    let (all, _) = kits.addr_query_all(Lpa(3), 1).expect("all");
+    let all = kits.query(Lpa(3), 1).all_versions().run().expect("all");
     println!(
         "page L3 has {} retained versions for the evidence chain",
-        all.len()
+        all.hits.len()
     );
 }

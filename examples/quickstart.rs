@@ -46,11 +46,15 @@ fn main() {
 
     // TimeKits answers "what did this page hold at t=1.5s?" and rolls back.
     let mut kits = TimeKits::new(&mut ssd);
-    let (hits, cost) = kits.addr_query(Lpa(7), 1, 1_500_000_000).expect("query");
+    let out = kits
+        .query(Lpa(7), 1)
+        .as_of(1_500_000_000)
+        .run()
+        .expect("query");
     println!(
         "state at t=1.5s : {:?} ({} flash reads)",
-        String::from_utf8_lossy(&hits[0].data.materialize(5)),
-        cost.flash_reads,
+        String::from_utf8_lossy(&out.hits[0].data.materialize(5)),
+        out.cost.flash_reads,
     );
     kits.roll_back(Lpa(7), 1, 1_500_000_000, 10 * SEC_NS)
         .expect("rollback");

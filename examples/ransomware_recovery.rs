@@ -63,10 +63,12 @@ fn main() {
     // Verify one file's plaintext actually came back.
     let first = &report.victims[0];
     let kits = TimeKits::new(fs.device_mut());
-    let (hits, _) = kits
-        .addr_query(first.lpas[0], 1, u64::MAX)
+    let out = kits
+        .query(first.lpas[0], 1)
+        .as_of(u64::MAX)
+        .run()
         .expect("verify query");
-    let head = hits[0].data.materialize(32);
+    let head = out.hits[0].data.materialize(32);
     println!(
         "first page of doc0 now begins with: {:?}",
         String::from_utf8_lossy(&head[..16])

@@ -11,7 +11,7 @@
 use std::env;
 use std::process::ExitCode;
 
-use almanac::core::{RegularSsd, SsdConfig, SsdDevice, TimeSsd};
+use almanac::core::{RegularSsd, SsdConfig, SsdDevice, SsdReadOps, TimeSsd};
 use almanac::flash::{Geometry, Lpa, PageData, DAY_NS, SEC_NS};
 use almanac::fs::{AlmanacFs, FsMode};
 use almanac::kits::TimeKits;

@@ -25,7 +25,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use almanac_core::{AlmanacError, SsdConfig, SsdDevice, TimeSsd, VersionLocation};
+use almanac_core::{AlmanacError, SsdConfig, SsdDevice, SsdReadOps, TimeSsd, VersionLocation};
 use almanac_flash::{FaultPlan, FlashError, Geometry, Lpa, Nanos, PageData};
 use almanac_kits::TimeKits;
 
@@ -251,10 +251,12 @@ fn check_cut(cut: u64, ops: &[HostOp]) -> (u64, usize) {
     let survivor_count = survivors.len();
     {
         let kits = TimeKits::new(&mut rebuilt);
-        let (hits, _) = kits
-            .addr_query(Lpa(0), exported, Nanos::MAX)
+        let out = kits
+            .query(Lpa(0), exported)
+            .as_of(Nanos::MAX)
+            .run()
             .expect("AddrQuery over rebuilt device");
-        let heads: BTreeMap<u64, Nanos> = hits.iter().map(|h| (h.lpa.0, h.timestamp)).collect();
+        let heads: BTreeMap<u64, Nanos> = out.hits.iter().map(|h| (h.lpa.0, h.timestamp)).collect();
         let (time_hits, _) = kits.time_query(0);
         let mut stamps: BTreeMap<u64, BTreeSet<Nanos>> = BTreeMap::new();
         for h in &time_hits {

@@ -1,7 +1,7 @@
 //! End-to-end integration tests across the whole stack: file system on
 //! TimeSSD, workload generators, TimeKits queries and recovery.
 
-use almanac::core::{RegularSsd, SsdConfig, SsdDevice, TimeSsd};
+use almanac::core::{RegularSsd, SsdConfig, SsdDevice, SsdReadOps, TimeSsd};
 use almanac::flash::{Geometry, Lpa, PageData, SEC_NS};
 use almanac::fs::{AlmanacFs, FsMode};
 use almanac::kits::{FileMap, TimeKits};
@@ -148,7 +148,7 @@ fn device_timeline_is_tamper_evident() {
     let kits = TimeKits::new(&mut ssd);
     let (hits, _) = kits.time_query_all();
     assert!(hits.iter().any(|h| h.lpa == Lpa(5)));
-    let (versions, _) = kits.addr_query_all(Lpa(5), 1).unwrap();
-    assert_eq!(versions.len(), 1);
-    assert_eq!(versions[0].data, PageData::bytes(b"evidence".to_vec()));
+    let versions = kits.query(Lpa(5), 1).all_versions().run().unwrap();
+    assert_eq!(versions.hits.len(), 1);
+    assert_eq!(versions.hits[0].data, PageData::bytes(b"evidence".to_vec()));
 }
